@@ -1,0 +1,24 @@
+# Convenience targets for the repro library.
+
+.PHONY: install test bench examples scenarios all
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only -s
+
+examples:
+	@for script in examples/*.py; do \
+		echo "=== $$script ==="; \
+		python $$script || exit 1; \
+		echo; \
+	done
+
+scenarios:
+	python -m repro scenarios
+
+all: test bench examples

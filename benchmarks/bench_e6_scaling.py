@@ -1,0 +1,69 @@
+"""E6 — checker cost: serialization-graph construction scaling.
+
+Measures SG construction + acyclicity checking over increasingly long
+behaviors (generated once, outside the timed region).  Expected shape:
+cost grows smoothly with behavior length; the per-object quadratic
+conflict enumeration dominates only under heavy same-object contention.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _tables import print_table
+
+from repro import (
+    EagerInformPolicy,
+    MossRWLockingObject,
+    WorkloadConfig,
+    build_serialization_graph,
+    generate_workload,
+    make_generic_system,
+    run_system,
+    serial_projection,
+)
+
+
+def make_behavior(top_level: int, objects: int, seed: int = 0):
+    config = WorkloadConfig(
+        seed=seed, top_level=top_level, objects=objects, max_depth=2, max_calls=3
+    )
+    system_type, programs = generate_workload(config)
+    system = make_generic_system(system_type, programs, MossRWLockingObject)
+    result = run_system(
+        system,
+        EagerInformPolicy(seed=seed),
+        system_type,
+        max_steps=60_000,
+        resolve_deadlocks=True,
+    )
+    return serial_projection(result.behavior), system_type
+
+
+CASES = [(8, 4), (16, 8), (32, 8), (64, 16), (128, 16), (256, 32)]
+
+
+@pytest.fixture(scope="module")
+def behaviors():
+    return {case: make_behavior(*case) for case in CASES}
+
+
+@pytest.mark.benchmark(group="e6")
+@pytest.mark.parametrize("case", CASES, ids=[f"top{t}_obj{o}" for t, o in CASES])
+def test_e6_sg_construction_scaling(benchmark, behaviors, case):
+    serial, system_type = behaviors[case]
+
+    def build():
+        graph = build_serialization_graph(serial, system_type)
+        return graph.is_acyclic()
+
+    acyclic = benchmark(build)
+    assert acyclic
+    print_table(
+        f"E6: SG construction over {len(serial)} serial events "
+        f"(top={case[0]}, objects={case[1]})",
+        ["events", "accesses", "objects"],
+        [(len(serial), len(system_type.all_accesses()), case[1])],
+    )

@@ -1,0 +1,18 @@
+"""``python -m repro`` entry point."""
+
+import sys
+
+from .cli import main
+
+try:
+    code = main()
+except BrokenPipeError:
+    # downstream pager/head closed the pipe; exit quietly like other CLIs
+    try:
+        sys.stdout.close()
+    except Exception:
+        pass
+    code = 0
+except KeyboardInterrupt:
+    code = 130
+sys.exit(code)

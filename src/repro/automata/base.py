@@ -1,0 +1,122 @@
+"""The I/O automaton model (Section 2.1), executable form.
+
+An :class:`IOAutomaton` has input, output and internal actions; inputs
+must be enabled in every state, while locally-controlled actions
+(outputs and internals) carry preconditions.  States are treated as
+opaque values that :meth:`IOAutomaton.effect` maps functionally — an
+effect returns a *new* state and never mutates its argument, so the
+exploration utilities (enumeration of enabled actions, schedule
+replay) can branch freely.
+
+Because the action universe of a transaction system is infinite (one
+action per transaction name and value), signatures are predicates, and
+automata additionally enumerate the *candidate* locally-controlled
+actions enabled in a given state via :meth:`IOAutomaton.enabled_outputs`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..core.actions import Action
+
+__all__ = ["IOAutomaton", "Execution", "replay_schedule", "behavior_of"]
+
+
+class IOAutomaton(ABC):
+    """An input/output automaton with a functional transition relation."""
+
+    name: str = "automaton"
+
+    @abstractmethod
+    def initial_state(self) -> Any:
+        """The (single) start state.  Multiple start states are not needed here."""
+
+    @abstractmethod
+    def is_input(self, action: Action) -> bool:
+        """Signature predicate for input actions."""
+
+    @abstractmethod
+    def is_output(self, action: Action) -> bool:
+        """Signature predicate for output actions."""
+
+    def is_action(self, action: Action) -> bool:
+        """True iff ``action`` belongs to this automaton's external signature."""
+        return self.is_input(action) or self.is_output(action)
+
+    @abstractmethod
+    def enabled(self, state: Any, action: Action) -> bool:
+        """Is ``action`` enabled in ``state``?
+
+        Implementations must return True for every input action in every
+        state (input-enabledness); the test suite checks this.
+        """
+
+    @abstractmethod
+    def effect(self, state: Any, action: Action) -> Any:
+        """The state after performing ``action`` in ``state`` (pure)."""
+
+    def enabled_outputs(self, state: Any) -> Iterator[Action]:
+        """Enumerate locally-controlled actions enabled in ``state``.
+
+        The default is empty (purely reactive automata override this).
+        Used by the simulation driver to discover what can happen next.
+        """
+        return iter(())
+
+    def step(self, state: Any, action: Action) -> Any:
+        """Perform one step, checking enabledness for locally-controlled actions."""
+        if self.is_output(action) and not self.enabled(state, action):
+            raise ValueError(f"{self.name}: output {action} not enabled")
+        return self.effect(state, action)
+
+
+@dataclass
+class Execution:
+    """A finite execution: alternating states and actions, ending in a state."""
+
+    automaton: IOAutomaton
+    states: List[Any]
+    actions: List[Action]
+
+    @property
+    def final_state(self) -> Any:
+        return self.states[-1]
+
+    def schedule(self) -> Tuple[Action, ...]:
+        return tuple(self.actions)
+
+
+def replay_schedule(
+    automaton: IOAutomaton, schedule: Sequence[Action], strict: bool = True
+) -> Execution:
+    """Run ``schedule`` from the initial state, returning the execution.
+
+    With ``strict`` (the default), locally-controlled actions must be
+    enabled when performed — replaying a schedule that is not a schedule
+    of the automaton raises ``ValueError``.  Actions outside the
+    automaton's signature are rejected; use :func:`behavior_of` style
+    projection before replaying a composite schedule.
+    """
+    state = automaton.initial_state()
+    states = [state]
+    actions: List[Action] = []
+    for action in schedule:
+        if not automaton.is_action(action):
+            raise ValueError(f"{automaton.name}: {action} not in signature")
+        if strict:
+            state = automaton.step(state, action)
+        else:
+            state = automaton.effect(state, action)
+        states.append(state)
+        actions.append(action)
+    return Execution(automaton, states, actions)
+
+
+def behavior_of(
+    automaton: IOAutomaton, schedule: Sequence[Action]
+) -> Tuple[Action, ...]:
+    """Project a composite schedule onto this automaton's external actions."""
+    return tuple(action for action in schedule if automaton.is_action(action))

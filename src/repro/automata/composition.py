@@ -1,0 +1,80 @@
+"""Composition of I/O automata (Section 2.1).
+
+A composition runs a strongly compatible collection of automata in
+lockstep: an action of the composite is an action of some subset of the
+components; every component having the action performs it, the rest stay
+put.  An output of the composite is an output of any component; inputs of
+the composite are actions that are inputs of some component and outputs
+of none.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Sequence, Tuple
+
+from ..core.actions import Action
+from .base import IOAutomaton
+
+__all__ = ["Composition"]
+
+
+class Composition(IOAutomaton):
+    """The composition of a list of I/O automata.
+
+    Component names must be unique; states of the composite are dicts
+    keyed by component name (copied on write, so effects stay pure).
+    """
+
+    def __init__(self, components: Sequence[IOAutomaton], name: str = "system") -> None:
+        self.name = name
+        self.components: Tuple[IOAutomaton, ...] = tuple(components)
+        names = [component.name for component in self.components]
+        if len(set(names)) != len(names):
+            raise ValueError(f"component names must be unique: {names}")
+        self._check_strong_compatibility()
+
+    def _check_strong_compatibility(self) -> None:
+        # With predicate signatures we cannot enumerate intersections; we
+        # enforce the checkable half: no probing here, output uniqueness is
+        # verified dynamically in `effect`.
+        return None
+
+    # -- signature -------------------------------------------------------
+
+    def is_input(self, action: Action) -> bool:
+        some_input = any(c.is_input(action) for c in self.components)
+        some_output = any(c.is_output(action) for c in self.components)
+        return some_input and not some_output
+
+    def is_output(self, action: Action) -> bool:
+        return any(c.is_output(action) for c in self.components)
+
+    # -- transitions ------------------------------------------------------
+
+    def initial_state(self) -> Dict[str, Any]:
+        return {c.name: c.initial_state() for c in self.components}
+
+    def enabled(self, state: Dict[str, Any], action: Action) -> bool:
+        owners = [c for c in self.components if c.is_output(action)]
+        if len(owners) > 1:
+            raise ValueError(
+                f"{action} is an output of multiple components: "
+                f"{[c.name for c in owners]}"
+            )
+        if owners:
+            return owners[0].enabled(state[owners[0].name], action)
+        return any(c.is_input(action) for c in self.components)
+
+    def effect(self, state: Dict[str, Any], action: Action) -> Dict[str, Any]:
+        new_state = dict(state)
+        for component in self.components:
+            if component.is_action(action):
+                new_state[component.name] = component.effect(
+                    state[component.name], action
+                )
+        return new_state
+
+    def enabled_outputs(self, state: Dict[str, Any]) -> Iterator[Action]:
+        for component in self.components:
+            for action in component.enabled_outputs(state[component.name]):
+                yield action

@@ -1,0 +1,239 @@
+"""Command-line interface: record runs, audit recorded behaviors.
+
+Three subcommands::
+
+    python -m repro demo   [--algorithm moss|undo] [--seed N]
+    python -m repro record [--algorithm moss|undo] [--seed N] -o run.json
+    python -m repro audit  run.json [--dot graph.dot] [--oracle]
+
+``record`` simulates a nested-transaction workload and writes the
+(behavior, system type) pair as JSON; ``audit`` re-checks any such file
+with the serialization-graph certifier, optionally cross-examining with
+the brute-force oracle and exporting the graph as Graphviz DOT.  The
+audit exit status is 0 when certified, 2 when not.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from .core.correctness import certify
+from .core.oracle import oracle_serially_correct
+from .core.serde import dump_case, load_case
+from .generic.system import make_generic_system
+from .locking.moss import MossRWLockingObject
+from .report import certificate_report, serialization_graph_to_dot
+from .sim.driver import run_system
+from .sim.faults import AbortInjector
+from .sim.policies import EagerInformPolicy, RandomPolicy
+from .sim.workload import CounterKind, RWKind, WorkloadConfig, generate_workload
+from .undo.logging import UndoLoggingObject
+
+__all__ = ["main"]
+
+
+def _build_run(args: argparse.Namespace):
+    if args.algorithm == "moss":
+        kind, factory = RWKind(), MossRWLockingObject
+    elif args.algorithm == "read-update":
+        from .locking.read_update import ReadUpdateLockingObject
+
+        kind, factory = CounterKind(), ReadUpdateLockingObject
+    else:
+        kind, factory = CounterKind(), UndoLoggingObject
+    config = WorkloadConfig(
+        seed=args.seed,
+        top_level=args.transactions,
+        objects=args.objects,
+        max_depth=args.depth,
+        kind=kind,
+    )
+    system_type, programs = generate_workload(config)
+    system = make_generic_system(system_type, programs, factory)
+    policy = EagerInformPolicy(seed=args.seed)
+    if args.abort_rate > 0:
+        policy = AbortInjector(
+            RandomPolicy(args.seed), abort_rate=args.abort_rate, seed=args.seed
+        )
+    result = run_system(
+        system,
+        policy,
+        system_type,
+        max_steps=args.max_steps,
+        resolve_deadlocks=True,
+    )
+    return result, system_type
+
+
+def _add_run_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--algorithm",
+        choices=("moss", "undo", "read-update"),
+        default="moss",
+        help="concurrency control algorithm (default: moss)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--transactions", type=int, default=4,
+                        help="top-level transactions (default: 4)")
+    parser.add_argument("--objects", type=int, default=3)
+    parser.add_argument("--depth", type=int, default=2)
+    parser.add_argument("--abort-rate", type=float, default=0.0,
+                        help="per-step abort injection probability")
+    parser.add_argument("--max-steps", type=int, default=10_000)
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    result, system_type = _build_run(args)
+    print(f"run: {result.stats.summary()}\n")
+    if args.tree:
+        from .core.names import ROOT
+        from .sim.analysis import analyze_trace
+
+        analysis = analyze_trace(result.behavior, system_type)
+        print("transaction tree:")
+        for line in analysis.tree_lines(ROOT, indent="  "):
+            print(line)
+        latency = analysis.mean_access_latency()
+        if latency is not None:
+            print(f"mean access latency: {latency:.1f} events\n")
+        else:
+            print()
+    certificate = certify(result.behavior, system_type)
+    print(certificate_report(certificate, result.behavior, system_type,
+                             witness_preview=args.witness))
+    return 0 if certificate.certified else 2
+
+
+def _cmd_record(args: argparse.Namespace) -> int:
+    result, system_type = _build_run(args)
+    text = dump_case(result.behavior, system_type)
+    Path(args.output).write_text(text)
+    print(f"recorded {len(result.behavior)} events to {args.output}")
+    print(f"run: {result.stats.summary()}")
+    return 0
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    path = Path(args.case)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        print(f"cannot read {path}: {exc}", file=sys.stderr)
+        return 1
+    try:
+        behavior, system_type = load_case(text)
+    except (ValueError, KeyError) as exc:
+        print(f"{path} is not a valid repro case: {exc}", file=sys.stderr)
+        return 1
+    if args.engine == "online":
+        from .core.online import OnlineCertifier
+
+        verdict = OnlineCertifier(system_type).feed_all(behavior)
+        print(
+            "CERTIFIED (online engine)"
+            if verdict.certified
+            else "NOT certified (online engine):"
+        )
+        for violation in verdict.arv_violations:
+            print(f"  {violation}")
+        if verdict.cycle is not None:
+            parent, nodes = verdict.cycle
+            print(f"  SG cycle under {parent}: "
+                  + " -> ".join(str(n) for n in nodes))
+        return 0 if verdict.certified else 2
+    certificate = certify(behavior, system_type, validate_input=True)
+    print(certificate_report(certificate, behavior, system_type,
+                             witness_preview=args.witness))
+    if args.dot:
+        Path(args.dot).write_text(
+            serialization_graph_to_dot(certificate.graph)
+        )
+        print(f"\nserialization graph written to {args.dot}")
+    if args.oracle and not certificate.certified:
+        verdict = oracle_serially_correct(behavior, system_type,
+                                          max_orders=args.oracle_budget)
+        print(
+            f"\nbrute-force oracle ({verdict.orders_tried} orders"
+            f"{', truncated' if verdict.truncated else ''}): "
+            + ("serially correct despite rejection (sufficiency gap)"
+               if verdict else "no serial witness found")
+        )
+    return 0 if certificate.certified else 2
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    from .core.oracle import oracle_serially_correct
+    from .scenarios import SCENARIOS, build_scenario
+
+    names = [args.name] if args.name else list(SCENARIOS)
+    for name in names:
+        behavior, system_type, expectation = build_scenario(name)
+        certificate = certify(behavior, system_type, construct_witness=False)
+        oracle = bool(
+            oracle_serially_correct(behavior, system_type, max_orders=2000)
+        )
+        status = "certified" if certificate.certified else "rejected"
+        truth = "correct" if oracle else "incorrect"
+        marker = "OK" if (
+            certificate.certified == expectation.certified
+            and oracle == expectation.serially_correct
+        ) else "UNEXPECTED"
+        print(f"{name:16s} {status:9s} / {truth:9s}  [{marker}]  {expectation.reason}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for the ``repro`` CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Serialization graphs for nested transactions "
+                    "(Fekete–Lynch–Weihl, PODS 1990)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    demo = subparsers.add_parser("demo", help="simulate a workload and certify it")
+    _add_run_options(demo)
+    demo.add_argument("--witness", type=int, default=0,
+                      help="preview this many witness events")
+    demo.add_argument("--tree", action="store_true",
+                      help="print the transaction tree with outcomes/latencies")
+    demo.set_defaults(func=_cmd_demo)
+
+    record = subparsers.add_parser("record", help="simulate and save a run as JSON")
+    _add_run_options(record)
+    record.add_argument("-o", "--output", required=True, help="output JSON path")
+    record.set_defaults(func=_cmd_record)
+
+    audit = subparsers.add_parser("audit", help="certify a recorded run")
+    audit.add_argument("case", help="JSON file produced by 'record'")
+    audit.add_argument("--dot", help="write the serialization graph as DOT")
+    audit.add_argument("--oracle", action="store_true",
+                       help="on rejection, search for a serial witness anyway")
+    audit.add_argument("--oracle-budget", type=int, default=5000)
+    audit.add_argument("--witness", type=int, default=0,
+                       help="preview this many witness events")
+    audit.add_argument("--engine", choices=("batch", "online"), default="batch",
+                       help="batch (full certificate + witness) or online "
+                            "(incremental verdict)")
+    audit.set_defaults(func=_cmd_audit)
+
+    scenarios = subparsers.add_parser(
+        "scenarios", help="judge the canonical anomaly scenarios"
+    )
+    scenarios.add_argument("name", nargs="?", help="a single scenario to judge")
+    scenarios.set_defaults(func=_cmd_scenarios)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point: parse ``argv`` (or ``sys.argv``) and run the subcommand."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

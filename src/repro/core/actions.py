@@ -1,0 +1,285 @@
+"""The action vocabulary of nested transaction systems.
+
+Serial actions (Section 2.2.4 of the paper):
+
+* ``CREATE(T)``                  — the scheduler wakes up transaction ``T``
+* ``REQUEST_CREATE(T)``          — ``parent(T)`` asks for ``T`` to be created
+* ``REQUEST_COMMIT(T, v)``       — ``T`` announces completion with value ``v``
+* ``COMMIT(T)`` / ``ABORT(T)``   — the irrevocable completion decision
+* ``REPORT_COMMIT(T, v)``        — ``parent(T)`` learns ``T`` committed with ``v``
+* ``REPORT_ABORT(T)``            — ``parent(T)`` learns ``T`` aborted
+
+Generic systems add two *non-serial* actions that inform objects of
+completions (Section 5.1):
+
+* ``INFORM_COMMIT_AT(X)OF(T)`` and ``INFORM_ABORT_AT(X)OF(T)``
+
+The functions :func:`transaction_of`, :func:`hightransaction`,
+:func:`lowtransaction` and :func:`object_of` implement the paper's
+``transaction``, ``hightransaction``, ``lowtransaction`` and ``object``
+operators on serial actions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Sequence, Tuple, Union
+
+from .names import ObjectName, TransactionName
+
+__all__ = [
+    "Action",
+    "Create",
+    "RequestCreate",
+    "RequestCommit",
+    "Commit",
+    "Abort",
+    "ReportCommit",
+    "ReportAbort",
+    "InformCommit",
+    "InformAbort",
+    "SerialAction",
+    "CompletionAction",
+    "ReportAction",
+    "InformAction",
+    "is_serial_action",
+    "is_completion",
+    "is_report",
+    "transaction_of",
+    "hightransaction",
+    "lowtransaction",
+    "object_of",
+    "Behavior",
+]
+
+
+@dataclass(frozen=True)
+class Create:
+    """``CREATE(T)`` — wake up transaction ``T`` (an input to ``T``)."""
+
+    transaction: TransactionName
+
+    def __str__(self) -> str:
+        return f"CREATE({self.transaction})"
+
+
+@dataclass(frozen=True)
+class RequestCreate:
+    """``REQUEST_CREATE(T)`` — ``parent(T)`` requests the creation of ``T``."""
+
+    transaction: TransactionName
+
+    def __post_init__(self) -> None:
+        if self.transaction.is_root:
+            raise ValueError("REQUEST_CREATE(T0) is not an action")
+
+    def __str__(self) -> str:
+        return f"REQUEST_CREATE({self.transaction})"
+
+
+@dataclass(frozen=True)
+class RequestCommit:
+    """``REQUEST_COMMIT(T, v)`` — ``T`` announces it finished with value ``v``."""
+
+    transaction: TransactionName
+    value: Any
+
+    def __post_init__(self) -> None:
+        hash(self.value)  # values travel through reports; keep them hashable
+
+    def __str__(self) -> str:
+        return f"REQUEST_COMMIT({self.transaction}, {self.value!r})"
+
+
+@dataclass(frozen=True)
+class Commit:
+    """``COMMIT(T)`` — the decision that ``T`` committed (``T != T0``)."""
+
+    transaction: TransactionName
+
+    def __post_init__(self) -> None:
+        if self.transaction.is_root:
+            raise ValueError("COMMIT(T0) is not an action")
+
+    def __str__(self) -> str:
+        return f"COMMIT({self.transaction})"
+
+
+@dataclass(frozen=True)
+class Abort:
+    """``ABORT(T)`` — the decision that ``T`` aborted (``T != T0``)."""
+
+    transaction: TransactionName
+
+    def __post_init__(self) -> None:
+        if self.transaction.is_root:
+            raise ValueError("ABORT(T0) is not an action")
+
+    def __str__(self) -> str:
+        return f"ABORT({self.transaction})"
+
+
+@dataclass(frozen=True)
+class ReportCommit:
+    """``REPORT_COMMIT(T, v)`` — report ``T``'s commit (and value) to its parent."""
+
+    transaction: TransactionName
+    value: Any
+
+    def __post_init__(self) -> None:
+        if self.transaction.is_root:
+            raise ValueError("REPORT_COMMIT(T0, v) is not an action")
+        hash(self.value)
+
+    def __str__(self) -> str:
+        return f"REPORT_COMMIT({self.transaction}, {self.value!r})"
+
+
+@dataclass(frozen=True)
+class ReportAbort:
+    """``REPORT_ABORT(T)`` — report ``T``'s abort to its parent."""
+
+    transaction: TransactionName
+
+    def __post_init__(self) -> None:
+        if self.transaction.is_root:
+            raise ValueError("REPORT_ABORT(T0) is not an action")
+
+    def __str__(self) -> str:
+        return f"REPORT_ABORT({self.transaction})"
+
+
+@dataclass(frozen=True)
+class InformCommit:
+    """``INFORM_COMMIT_AT(X)OF(T)`` — tell object ``X`` that ``T`` committed."""
+
+    obj: ObjectName
+    transaction: TransactionName
+
+    def __post_init__(self) -> None:
+        if self.transaction.is_root:
+            raise ValueError("INFORM_COMMIT of T0 is not an action")
+
+    def __str__(self) -> str:
+        return f"INFORM_COMMIT_AT({self.obj})OF({self.transaction})"
+
+
+@dataclass(frozen=True)
+class InformAbort:
+    """``INFORM_ABORT_AT(X)OF(T)`` — tell object ``X`` that ``T`` aborted."""
+
+    obj: ObjectName
+    transaction: TransactionName
+
+    def __post_init__(self) -> None:
+        if self.transaction.is_root:
+            raise ValueError("INFORM_ABORT of T0 is not an action")
+
+    def __str__(self) -> str:
+        return f"INFORM_ABORT_AT({self.obj})OF({self.transaction})"
+
+
+SerialAction = Union[
+    Create, RequestCreate, RequestCommit, Commit, Abort, ReportCommit, ReportAbort
+]
+CompletionAction = Union[Commit, Abort]
+ReportAction = Union[ReportCommit, ReportAbort]
+InformAction = Union[InformCommit, InformAbort]
+Action = Union[SerialAction, InformAction]
+
+#: A behavior is a finite sequence of actions; we use tuples throughout.
+Behavior = Tuple[Action, ...]
+
+_SERIAL_TYPES = (
+    Create,
+    RequestCreate,
+    RequestCommit,
+    Commit,
+    Abort,
+    ReportCommit,
+    ReportAbort,
+)
+
+
+def is_serial_action(action: Action) -> bool:
+    """True iff ``action`` is one of the seven serial action kinds."""
+    return isinstance(action, _SERIAL_TYPES)
+
+
+def is_completion(action: Action) -> bool:
+    """True iff ``action`` is ``COMMIT(T)`` or ``ABORT(T)``."""
+    return isinstance(action, (Commit, Abort))
+
+
+def is_report(action: Action) -> bool:
+    """True iff ``action`` is ``REPORT_COMMIT`` or ``REPORT_ABORT``."""
+    return isinstance(action, (ReportCommit, ReportAbort))
+
+
+def transaction_of(action: Action) -> Optional[TransactionName]:
+    """The paper's ``transaction(pi)`` operator.
+
+    ``transaction(CREATE(T)) = T`` and ``transaction(REQUEST_COMMIT(T, v)) = T``;
+    for requests and reports concerning a child ``T'``, the transaction is the
+    *parent* of ``T'``.  Completion and inform actions have no transaction
+    (the paper leaves ``transaction`` undefined for them); we return ``None``.
+    """
+    if isinstance(action, (Create, RequestCommit)):
+        return action.transaction
+    if isinstance(action, (RequestCreate, ReportCommit, ReportAbort)):
+        return action.transaction.parent
+    return None
+
+
+def hightransaction(action: Action) -> TransactionName:
+    """The paper's ``hightransaction(pi)``: the parent for completions.
+
+    For a completion action of a child of ``T`` this is ``T``; for every
+    other serial action it is ``transaction(pi)``.
+    """
+    if isinstance(action, (Commit, Abort)):
+        return action.transaction.parent
+    result = transaction_of(action)
+    if result is None:
+        raise ValueError(f"hightransaction is undefined for {action}")
+    return result
+
+
+def lowtransaction(action: Action) -> TransactionName:
+    """The paper's ``lowtransaction(pi)``: the completing transaction itself.
+
+    For ``COMMIT(T)``/``ABORT(T)`` this is ``T``; for every other serial
+    action it is ``transaction(pi)``.
+    """
+    if isinstance(action, (Commit, Abort)):
+        return action.transaction
+    result = transaction_of(action)
+    if result is None:
+        raise ValueError(f"lowtransaction is undefined for {action}")
+    return result
+
+
+def object_of(action: Action, system_type: "SystemTypeLike") -> Optional[ObjectName]:
+    """The paper's ``object(pi)``: defined for CREATE/REQUEST_COMMIT of accesses."""
+    if isinstance(action, (Create, RequestCommit)) and system_type.is_access(
+        action.transaction
+    ):
+        return system_type.object_of(action.transaction)
+    if isinstance(action, (InformCommit, InformAbort)):
+        return action.obj
+    return None
+
+
+class SystemTypeLike:
+    """Structural protocol for what :func:`object_of` needs (documentation only)."""
+
+    def is_access(self, name: TransactionName) -> bool:  # pragma: no cover
+        raise NotImplementedError
+
+    def object_of(self, name: TransactionName) -> ObjectName:  # pragma: no cover
+        raise NotImplementedError
+
+
+def format_behavior(behavior: Sequence[Action]) -> str:
+    """Human-readable one-action-per-line rendering of a behavior."""
+    return "\n".join(f"{i:4d}  {action}" for i, action in enumerate(behavior))

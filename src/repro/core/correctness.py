@@ -1,0 +1,448 @@
+"""Serial correctness: the Theorem 8/19 certifier and a constructive witness.
+
+The paper's main theorems say: if a finite simple behavior ``beta`` has
+appropriate return values and ``SG(beta)`` is acyclic, then ``beta`` is
+serially correct for ``T0`` — there exists a *serial* behavior ``gamma``
+with ``gamma | T0 == beta | T0``.
+
+:func:`certify` checks the two hypotheses.  Because the theorem is
+existential, we go one step further and make it constructive:
+:func:`build_witness` follows the proof — topologically sort the
+serialization graph into a sibling order ``R``, then replay the visible
+part of ``beta`` as a depth-first serial execution whose siblings run in
+``R`` order — and :func:`validate_serial_behavior` replays the produced
+``gamma`` against the serial scheduler's rules and every object's serial
+specification.  A successful certificate therefore carries an actual,
+machine-checked serial behavior, with ``gamma | T == beta | T`` for every
+transaction visible to ``T0`` (a stronger property than the theorem
+demands for ``T0`` alone).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from .actions import (
+    Abort,
+    Action,
+    Behavior,
+    Commit,
+    Create,
+    ReportAbort,
+    ReportCommit,
+    RequestCommit,
+    RequestCreate,
+    is_serial_action,
+    transaction_of,
+)
+from .events import StatusIndex, project_transaction, serial_projection
+from .graph import CycleError
+from .names import ROOT, SystemType, TransactionName
+from .operations import (
+    is_serial_object_well_formed,
+    operation_payloads,
+    operations_of_object,
+)
+from .return_values import ReturnValueViolation, check_appropriate_return_values
+from .serialization_graph import SerializationGraph, build_serialization_graph
+from .sibling_order import SiblingOrder
+
+__all__ = [
+    "Certificate",
+    "certify",
+    "build_witness",
+    "WitnessError",
+    "validate_serial_behavior",
+    "is_serially_correct_for_root",
+]
+
+
+class WitnessError(RuntimeError):
+    """Raised when the constructive witness cannot be built or validated.
+
+    Under the hypotheses of Theorem 8/19 this should never happen; it
+    indicates either a malformed input behavior or a bug.
+    """
+
+
+@dataclass
+class Certificate:
+    """The result of running the Theorem 8/19 check on a behavior."""
+
+    certified: bool
+    arv_violations: List[ReturnValueViolation]
+    cycle: Optional[Tuple[TransactionName, List[TransactionName]]]
+    graph: SerializationGraph
+    order: Optional[SiblingOrder] = None
+    witness: Optional[Behavior] = None
+    witness_problems: List[str] = field(default_factory=list)
+    input_problems: List[str] = field(default_factory=list)
+
+    @property
+    def has_appropriate_return_values(self) -> bool:
+        return not self.arv_violations
+
+    @property
+    def graph_is_acyclic(self) -> bool:
+        return self.cycle is None
+
+    def explain(self) -> str:
+        """A human-readable account of the verdict."""
+        if self.certified:
+            lines = ["CERTIFIED serially correct for T0 (Theorem 8/19)."]
+            if self.witness is not None:
+                lines.append(f"Witness serial behavior has {len(self.witness)} events.")
+            return "\n".join(lines)
+        lines = ["NOT certified (the condition is sufficient, not necessary):"]
+        for problem in self.input_problems:
+            lines.append(f"  malformed input: {problem}")
+        for violation in self.arv_violations:
+            lines.append(f"  return values: {violation}")
+        if self.cycle is not None:
+            parent, nodes = self.cycle
+            path = " -> ".join(str(n) for n in nodes)
+            lines.append(f"  SG cycle under {parent}: {path}")
+        return "\n".join(lines)
+
+
+def certify(
+    behavior: Sequence[Action],
+    system_type: SystemType,
+    construct_witness: bool = True,
+    validate_input: bool = False,
+) -> Certificate:
+    """Apply Theorem 8/19 to (the serial projection of) ``behavior``.
+
+    Checks appropriate return values and acyclicity of ``SG(serial(beta))``.
+    When both hold and ``construct_witness`` is set, also builds and
+    validates the witness serial behavior; any witness problem is reported
+    in the certificate (and the test suite asserts it never occurs).
+
+    With ``validate_input``, first checks the simple-database constraints
+    the theorems presuppose (Section 2.3.1); violations are reported in
+    ``input_problems`` and make the certificate non-certified — a
+    malformed log deserves a diagnosis, not a verdict.
+    """
+    serial = serial_projection(behavior)
+    index = StatusIndex(serial)
+    input_problems: List[str] = []
+    if validate_input:
+        # imported lazily: the simple database lives one layer above core
+        from ..serial.simple_db import check_simple_behavior
+
+        input_problems = check_simple_behavior(serial, system_type)
+        if input_problems:
+            return Certificate(
+                False,
+                [],
+                None,
+                SerializationGraph(),
+                input_problems=input_problems,
+            )
+    arv_violations = check_appropriate_return_values(serial, system_type, index)
+    graph = build_serialization_graph(serial, system_type, index)
+    cycle = graph.find_cycle()
+    certified = not arv_violations and cycle is None
+    certificate = Certificate(certified, arv_violations, cycle, graph)
+    if certified and construct_witness:
+        order = graph.to_sibling_order()
+        certificate.order = order
+        try:
+            witness = build_witness(serial, system_type, order, index)
+            certificate.witness_problems = validate_serial_behavior(
+                witness, system_type
+            )
+            if not certificate.witness_problems:
+                for transaction in _visible_transactions(index):
+                    if project_transaction(witness, transaction) != project_transaction(
+                        serial, transaction
+                    ):
+                        certificate.witness_problems.append(
+                            f"witness projection differs at {transaction}"
+                        )
+            certificate.witness = witness
+        except WitnessError as exc:
+            certificate.witness_problems = [str(exc)]
+    return certificate
+
+
+def is_serially_correct_for_root(
+    behavior: Sequence[Action], system_type: SystemType
+) -> bool:
+    """Convenience wrapper: does Theorem 8/19 certify this behavior?"""
+    return certify(behavior, system_type, construct_witness=False).certified
+
+
+# ---------------------------------------------------------------------------
+# Constructive witness
+# ---------------------------------------------------------------------------
+
+
+def _visible_transactions(index: StatusIndex) -> Set[TransactionName]:
+    """Transactions visible to T0 among those mentioned in the behavior."""
+    mentioned = index.create_requested | index.created | {ROOT}
+    return {t for t in mentioned if index.is_visible(t, ROOT)}
+
+
+def build_witness(
+    serial: Sequence[Action],
+    system_type: SystemType,
+    order: SiblingOrder,
+    index: Optional[StatusIndex] = None,
+) -> Behavior:
+    """Build the serial behavior ``gamma`` promised by Theorem 8/19.
+
+    Follows the proof: runs the transactions visible to ``T0`` as a
+    depth-first serial execution, executing each sibling group in the
+    topological order ``order``, while reproducing each visible
+    transaction's own action sequence (``beta | T``) verbatim.  Aborted
+    children are aborted before creation (the only abort the serial
+    scheduler permits); non-visible, never-completed children are
+    requested but never scheduled.
+    """
+    index = index if index is not None else StatusIndex(serial)
+    visible = _visible_transactions(index)
+    builder = _WitnessBuilder(serial, system_type, order, index, visible)
+    builder.emit_transaction(ROOT)
+    return tuple(builder.output)
+
+
+class _WitnessBuilder:
+    def __init__(
+        self,
+        serial: Sequence[Action],
+        system_type: SystemType,
+        order: SiblingOrder,
+        index: StatusIndex,
+        visible: Set[TransactionName],
+    ) -> None:
+        self.serial = tuple(serial)
+        self.system_type = system_type
+        self.order = order
+        self.index = index
+        self.visible = visible
+        self.output: List[Action] = []
+        self._local_cache: Dict[TransactionName, Behavior] = {}
+
+    def local_sequence(self, transaction: TransactionName) -> Behavior:
+        if transaction not in self._local_cache:
+            self._local_cache[transaction] = project_transaction(
+                self.serial, transaction
+            )
+        return self._local_cache[transaction]
+
+    def emit_transaction(self, transaction: TransactionName) -> None:
+        """Emit the serial execution of ``transaction``'s subtree."""
+        local = self.local_sequence(transaction)
+        requested: List[TransactionName] = []
+        ran: Set[TransactionName] = set()
+        aborted_emitted: Set[TransactionName] = set()
+
+        def run_child(child: TransactionName) -> None:
+            if child in ran:
+                return
+            if child not in requested:
+                raise WitnessError(
+                    f"child {child} must run before its REQUEST_CREATE was emitted"
+                )
+            ran.add(child)
+            self.emit_transaction(child)
+            self.output.append(Commit(child))
+
+        def run_up_to(target: TransactionName) -> None:
+            """Run all pending visible R-predecessors of ``target``, then it."""
+            pending = [
+                c
+                for c in requested
+                if c in self.visible and c not in ran
+            ]
+            for child in self.order.sorted_children(transaction, pending):
+                if child == target:
+                    run_child(child)
+                    return
+                if self.order.holds(child, target):
+                    run_child(child)
+            # ``target`` may not have been pending (already ran) — ensure it ran.
+            if target not in ran:
+                run_child(target)
+
+        for action in local:
+            if isinstance(action, Create):
+                self.output.append(action)
+            elif isinstance(action, RequestCreate):
+                requested.append(action.transaction)
+                self.output.append(action)
+            elif isinstance(action, ReportCommit):
+                child = action.transaction
+                if child not in self.visible:
+                    raise WitnessError(
+                        f"report of commit for non-visible child {child}"
+                    )
+                run_up_to(child)
+                self.output.append(action)
+            elif isinstance(action, ReportAbort):
+                child = action.transaction
+                if child not in aborted_emitted:
+                    aborted_emitted.add(child)
+                    self.output.append(Abort(child))
+                self.output.append(action)
+            elif isinstance(action, RequestCommit):
+                pending = [
+                    c for c in requested if c in self.visible and c not in ran
+                ]
+                for child in self.order.sorted_children(transaction, pending):
+                    run_child(child)
+                self.output.append(action)
+            else:
+                raise WitnessError(
+                    f"unexpected action {action} in local sequence of {transaction}"
+                )
+
+        # Visible children whose reports never arrived (possible only at T0,
+        # since any committed parent must have received all reports first)
+        # still have globally visible effects: run them now, in order.
+        leftovers = [c for c in requested if c in self.visible and c not in ran]
+        for child in self.order.sorted_children(transaction, leftovers):
+            run_child(child)
+
+
+# ---------------------------------------------------------------------------
+# Serial behavior validation
+# ---------------------------------------------------------------------------
+
+
+def validate_serial_behavior(
+    behavior: Sequence[Action], system_type: SystemType
+) -> List[str]:
+    """Check that a sequence of serial actions is a serial-system behavior.
+
+    Replays the serial scheduler's rules (Section 2.2.3): creations and
+    completions need prior requests, siblings never overlap, aborts hit
+    only never-created transactions, a transaction commits only after all
+    its requested children completed, reports follow completions.  Also
+    replays each object's serial specification over its projection
+    (serial object well-formedness plus operation legality).
+
+    Returns a list of problem descriptions; empty means valid.
+    """
+    problems: List[str] = []
+    create_requested: Set[TransactionName] = set()
+    created: Set[TransactionName] = set()
+    completed: Set[TransactionName] = set()
+    committed: Dict[TransactionName, Any] = {}
+    commit_requested: Dict[TransactionName, Any] = {}
+    reported: Set[TransactionName] = set()
+    children_requested: Dict[TransactionName, Set[TransactionName]] = {}
+    active_child: Dict[TransactionName, Optional[TransactionName]] = {}
+
+    def note(message: str, position: int, action: Action) -> None:
+        problems.append(f"event {position} ({action}): {message}")
+
+    for position, action in enumerate(behavior):
+        if not is_serial_action(action):
+            note("not a serial action", position, action)
+            continue
+        if isinstance(action, RequestCreate):
+            child = action.transaction
+            if child in create_requested:
+                note("duplicate REQUEST_CREATE", position, action)
+            parent = child.parent
+            if not parent.is_root and parent not in created:
+                note(
+                    "transaction requested a child before being created",
+                    position,
+                    action,
+                )
+            create_requested.add(child)
+            children_requested.setdefault(parent, set()).add(child)
+        elif isinstance(action, Create):
+            transaction = action.transaction
+            if transaction.is_root:
+                note("CREATE(T0) is not a serial action", position, action)
+                continue
+            if transaction not in create_requested:
+                note("CREATE without REQUEST_CREATE", position, action)
+            if transaction in created:
+                note("duplicate CREATE", position, action)
+            if transaction in completed:
+                note("CREATE after completion", position, action)
+            parent = transaction.parent
+            sibling = active_child.get(parent)
+            if sibling is not None and sibling != transaction:
+                note(f"sibling {sibling} still active", position, action)
+            created.add(transaction)
+            active_child[parent] = transaction
+        elif isinstance(action, RequestCommit):
+            transaction = action.transaction
+            if system_type.is_access(transaction):
+                if transaction not in created:
+                    note("access responded before CREATE", position, action)
+            if transaction in commit_requested:
+                note("duplicate REQUEST_COMMIT", position, action)
+            commit_requested[transaction] = action.value
+        elif isinstance(action, Commit):
+            transaction = action.transaction
+            if transaction not in commit_requested:
+                note("COMMIT without REQUEST_COMMIT", position, action)
+            if transaction in completed:
+                note("second completion", position, action)
+            for child in children_requested.get(transaction, ()):
+                if child not in completed:
+                    note(
+                        f"COMMIT before requested child {child} completed",
+                        position,
+                        action,
+                    )
+            completed.add(transaction)
+            committed[transaction] = commit_requested.get(transaction)
+            if active_child.get(transaction.parent) == transaction:
+                active_child[transaction.parent] = None
+        elif isinstance(action, Abort):
+            transaction = action.transaction
+            if transaction not in create_requested:
+                note("ABORT without REQUEST_CREATE", position, action)
+            if transaction in created:
+                note("serial scheduler aborts only never-created transactions",
+                     position, action)
+            if transaction in completed:
+                note("second completion", position, action)
+            completed.add(transaction)
+        elif isinstance(action, ReportCommit):
+            transaction = action.transaction
+            if transaction not in committed:
+                note("REPORT_COMMIT without COMMIT", position, action)
+            elif committed[transaction] != action.value:
+                note(
+                    f"reported value {action.value!r} differs from committed "
+                    f"value {committed[transaction]!r}",
+                    position,
+                    action,
+                )
+            if transaction in reported:
+                note("duplicate report", position, action)
+            reported.add(transaction)
+        elif isinstance(action, ReportAbort):
+            transaction = action.transaction
+            if transaction not in completed or transaction in committed:
+                note("REPORT_ABORT without ABORT", position, action)
+            if transaction in reported:
+                note("duplicate report", position, action)
+            reported.add(transaction)
+
+    for obj in system_type.object_names():
+        projection = tuple(
+            a
+            for a in behavior
+            if isinstance(a, (Create, RequestCommit))
+            and system_type.is_access(a.transaction)
+            and system_type.object_of(a.transaction) == obj
+        )
+        if not is_serial_object_well_formed(projection):
+            problems.append(f"object {obj}: projection not serial-object well-formed")
+            continue
+        ops = operations_of_object(projection, obj, system_type)
+        pairs = operation_payloads(ops, system_type)
+        if not system_type.spec(obj).is_legal(pairs):
+            problems.append(f"object {obj}: operation sequence illegal for the spec")
+    return problems

@@ -1,0 +1,331 @@
+"""An online (incremental) Theorem 8/19 certifier for streaming audits.
+
+:func:`repro.core.correctness.certify` judges a complete recorded
+behavior; :class:`OnlineCertifier` consumes one action at a time and
+maintains the same verdict — suitable for monitoring a live system.
+
+The interesting dynamics are in *visibility*: an access's operation
+enters ``visible(beta, T0)`` only when its whole ancestor chain has
+committed, which can happen long after the operation itself.  A late
+commit therefore
+
+* inserts the operation into the middle of each object's visible
+  sequence (by original event position), which can flip the legality of
+  the operations after it in either direction — the ARV verdict is
+  **not** monotone and is re-evaluated from the insertion point;
+* adds conflict edges against every visible operation on the same
+  object — edges only accumulate, so a cycle verdict *is* monotone and
+  latches.
+
+``OnlineCertifier.verdict()`` matches ``certify(prefix, ...)`` (without
+witness construction) after every fed prefix; the test suite asserts
+that equivalence on random behaviors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from .actions import (
+    Abort,
+    Action,
+    Commit,
+    Create,
+    ReportAbort,
+    ReportCommit,
+    RequestCommit,
+    RequestCreate,
+    is_report,
+    is_serial_action,
+)
+from .names import ROOT, ObjectName, SystemType, TransactionName, lca
+from .serialization_graph import CONFLICT, PRECEDES, SerializationGraph, SiblingEdge
+
+__all__ = ["OnlineVerdict", "OnlineCertifier"]
+
+
+@dataclass(frozen=True)
+class OnlineVerdict:
+    """The current judgement of the stream consumed so far."""
+
+    certified: bool
+    arv_violations: Tuple[str, ...]
+    cycle: Optional[Tuple[TransactionName, List[TransactionName]]]
+
+
+@dataclass
+class _TrackedOp:
+    position: int
+    transaction: TransactionName
+    op: Any
+    value: Any
+    obj: ObjectName
+    pending: Set[TransactionName]  # uncommitted ancestors (excl. ROOT)
+    dead: bool = False
+    visible: bool = False
+
+
+@dataclass
+class _TrackedTxn:
+    """A non-access transaction watched for parent-visibility (precedes)."""
+
+    transaction: TransactionName
+    pending: Set[TransactionName]
+    dead: bool = False
+    visible: bool = False
+
+
+class OnlineCertifier:
+    """Feed serial actions; read back the Theorem 8/19 verdict anytime."""
+
+    def __init__(self, system_type: SystemType) -> None:
+        self.system_type = system_type
+        self._position = 0
+        self._committed: Set[TransactionName] = set()
+        self._aborted: Set[TransactionName] = set()
+        # ops awaiting visibility, keyed by each uncommitted ancestor
+        self._waiting: Dict[TransactionName, List[_TrackedOp]] = {}
+        self._ops: List[_TrackedOp] = []
+        # per-object visible sequences (sorted by position) + states
+        self._visible: Dict[ObjectName, List[_TrackedOp]] = {
+            obj: [] for obj in system_type.object_names()
+        }
+        self._legal: Dict[ObjectName, List[bool]] = {
+            obj: [] for obj in system_type.object_names()
+        }
+        # precedes bookkeeping
+        self._first_report: Dict[TransactionName, int] = {}
+        self._request_create: Dict[TransactionName, int] = {}
+        self._parents: Dict[TransactionName, _TrackedTxn] = {}
+        self._waiting_parents: Dict[TransactionName, List[_TrackedTxn]] = {}
+        self._graph = SerializationGraph()
+        self._cycle: Optional[Tuple[TransactionName, List[TransactionName]]] = None
+
+    # -- public API ---------------------------------------------------------
+
+    def feed(self, action: Action) -> None:
+        """Consume one action (non-serial actions are ignored)."""
+        if not is_serial_action(action):
+            return
+        position = self._position
+        self._position += 1
+        if isinstance(action, RequestCreate):
+            self._request_create.setdefault(action.transaction, position)
+            self._touch_parent(action.transaction.parent)
+            if self._graph_parent_visible(action.transaction.parent):
+                self._add_precedes_for_new_request(action.transaction, position)
+        elif isinstance(action, RequestCommit) and self.system_type.is_access(
+            action.transaction
+        ):
+            self._track_operation(action, position)
+        elif isinstance(action, Commit):
+            self._on_commit(action.transaction)
+        elif isinstance(action, Abort):
+            self._on_abort(action.transaction)
+        elif is_report(action):
+            self._first_report.setdefault(action.transaction, position)
+            self._touch_parent(action.transaction.parent)
+            if self._graph_parent_visible(action.transaction.parent):
+                self._add_precedes_for_new_report(action.transaction, position)
+
+    def verdict(self) -> OnlineVerdict:
+        """The Theorem 8/19 judgement of everything fed so far."""
+        violations = tuple(
+            f"object {obj}: operation of {ops[i].transaction} is illegal"
+            for obj, ops in self._visible.items()
+            for i, ok in enumerate(self._legal[obj])
+            if not ok
+        )
+        certified = not violations and self._cycle is None
+        return OnlineVerdict(certified, violations, self._cycle)
+
+    def feed_all(self, behavior: Sequence[Action]) -> OnlineVerdict:
+        """Feed a whole behavior and return the resulting verdict."""
+        for action in behavior:
+            self.feed(action)
+        return self.verdict()
+
+    @property
+    def graph(self) -> SerializationGraph:
+        """The serialization graph accumulated so far."""
+        return self._graph
+
+    # -- visibility machinery -------------------------------------------------
+
+    def _uncommitted_chain(self, transaction: TransactionName) -> Set[TransactionName]:
+        return {
+            ancestor
+            for ancestor in transaction.ancestors()
+            if not ancestor.is_root and ancestor not in self._committed
+        }
+
+    def _chain_dead(self, transaction: TransactionName) -> bool:
+        return any(
+            ancestor in self._aborted for ancestor in transaction.ancestors()
+        )
+
+    def _track_operation(self, action: RequestCommit, position: int) -> None:
+        access = self.system_type.access(action.transaction)
+        tracked = _TrackedOp(
+            position,
+            action.transaction,
+            access.op,
+            action.value,
+            access.obj,
+            self._uncommitted_chain(action.transaction),
+        )
+        self._ops.append(tracked)
+        if self._chain_dead(action.transaction):
+            tracked.dead = True
+            return
+        if not tracked.pending:
+            self._make_op_visible(tracked)
+        else:
+            for ancestor in tracked.pending:
+                self._waiting.setdefault(ancestor, []).append(tracked)
+
+    def _touch_parent(self, parent: TransactionName) -> None:
+        if parent in self._parents:
+            return
+        tracked = _TrackedTxn(parent, self._uncommitted_chain(parent))
+        self._parents[parent] = tracked
+        if self._chain_dead(parent):
+            tracked.dead = True
+            return
+        if not tracked.pending:
+            self._make_parent_visible(tracked)
+        else:
+            for ancestor in tracked.pending:
+                self._waiting_parents.setdefault(ancestor, []).append(tracked)
+
+    def _on_commit(self, transaction: TransactionName) -> None:
+        self._committed.add(transaction)
+        for tracked in self._waiting.pop(transaction, []):
+            if tracked.dead or tracked.visible:
+                continue
+            tracked.pending.discard(transaction)
+            if not tracked.pending:
+                self._make_op_visible(tracked)
+        for tracked in self._waiting_parents.pop(transaction, []):
+            if tracked.dead or tracked.visible:
+                continue
+            tracked.pending.discard(transaction)
+            if not tracked.pending:
+                self._make_parent_visible(tracked)
+
+    def _on_abort(self, transaction: TransactionName) -> None:
+        self._aborted.add(transaction)
+        for tracked in self._ops:
+            if not tracked.visible and transaction.is_ancestor_of(
+                tracked.transaction
+            ):
+                tracked.dead = True
+        for tracked in self._parents.values():
+            if not tracked.visible and transaction.is_ancestor_of(
+                tracked.transaction
+            ):
+                tracked.dead = True
+
+    # -- graph + ARV maintenance ---------------------------------------------
+
+    def _graph_parent_visible(self, parent: TransactionName) -> bool:
+        tracked = self._parents.get(parent)
+        return tracked is not None and tracked.visible
+
+    def _make_op_visible(self, tracked: _TrackedOp) -> None:
+        tracked.visible = True
+        sequence = self._visible[tracked.obj]
+        spec = self.system_type.spec(tracked.obj)
+        # conflict edges against every already-visible op on the object
+        for other in sequence:
+            if other.transaction.is_related_to(tracked.transaction):
+                continue
+            first, second = (
+                (other, tracked) if other.position < tracked.position else (tracked, other)
+            )
+            if spec.conflicts(first.op, first.value, second.op, second.value):
+                ancestor = lca(first.transaction, second.transaction)
+                depth = ancestor.depth
+                self._add_edge(
+                    SiblingEdge(
+                        TransactionName(first.transaction.path[: depth + 1]),
+                        TransactionName(second.transaction.path[: depth + 1]),
+                        CONFLICT,
+                    )
+                )
+        # insert by position and re-validate the suffix
+        index = 0
+        while index < len(sequence) and sequence[index].position < tracked.position:
+            index += 1
+        sequence.insert(index, tracked)
+        self._legal[tracked.obj].insert(index, True)
+        self._revalidate(tracked.obj, index)
+
+    def _revalidate(self, obj: ObjectName, start: int) -> None:
+        spec = self.system_type.spec(obj)
+        state: Any = spec.initial
+        # replay the stable prefix (values there are already validated,
+        # but we need the running state)
+        for tracked in self._visible[obj][:start]:
+            state, _ = spec.apply(state, tracked.op)
+        legal = self._legal[obj]
+        for index in range(start, len(self._visible[obj])):
+            tracked = self._visible[obj][index]
+            state, expected = spec.apply(state, tracked.op)
+            legal[index] = expected == tracked.value
+
+    def _make_parent_visible(self, tracked: _TrackedTxn) -> None:
+        tracked.visible = True
+        parent = tracked.transaction
+        reports = [
+            (txn, pos)
+            for txn, pos in self._first_report.items()
+            if not txn.is_root and txn.parent == parent
+        ]
+        requests = [
+            (txn, pos)
+            for txn, pos in self._request_create.items()
+            if not txn.is_root and txn.parent == parent
+        ]
+        for reported, report_pos in reports:
+            for requested, request_pos in requests:
+                if reported != requested and report_pos < request_pos:
+                    self._add_edge(SiblingEdge(reported, requested, PRECEDES))
+
+    def _add_precedes_for_new_report(
+        self, reported: TransactionName, position: int
+    ) -> None:
+        if self._first_report.get(reported) != position:
+            return  # not the first report: no new edges
+        parent = reported.parent
+        for requested, request_pos in self._request_create.items():
+            if (
+                requested != reported
+                and not requested.is_root
+                and requested.parent == parent
+                and position < request_pos
+            ):
+                self._add_edge(SiblingEdge(reported, requested, PRECEDES))
+
+    def _add_precedes_for_new_request(
+        self, requested: TransactionName, position: int
+    ) -> None:
+        parent = requested.parent
+        for reported, report_pos in self._first_report.items():
+            if (
+                reported != requested
+                and not reported.is_root
+                and reported.parent == parent
+                and report_pos < position
+            ):
+                self._add_edge(SiblingEdge(reported, requested, PRECEDES))
+
+    def _add_edge(self, edge: SiblingEdge) -> None:
+        group = self._graph.graph_for(edge.parent)
+        had_edge = group.has_edge(edge.source, edge.target)
+        self._graph.add_edge(edge)
+        if self._cycle is None and not had_edge:
+            cycle = group.find_cycle()
+            if cycle is not None:
+                self._cycle = (edge.parent, cycle)

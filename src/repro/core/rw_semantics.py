@@ -1,0 +1,198 @@
+"""Read/write object semantics: kinds, final values, and the RW serial spec.
+
+Section 3.1 of the paper fixes a particularly simple object type where
+the only accesses are reads and writes.  This module provides:
+
+* the operation descriptors :class:`ReadOp` and :class:`WriteOp`;
+* the paper's ``write-sequence``, ``last-write`` and ``final-value``
+  operators over sequences of serial actions (and their ``clean-``
+  variants from Section 3.3);
+* :class:`RWSpec`, the serial specification object used by the checkers
+  (legality of operation sequences per Lemma 4, conflicts per Section 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Sequence, Tuple
+
+from .actions import Action, RequestCommit
+from .events import StatusIndex, clean_projection
+from .names import ObjectName, SystemType, TransactionName
+
+__all__ = [
+    "ReadOp",
+    "WriteOp",
+    "OK",
+    "is_read_access",
+    "is_write_access",
+    "write_sequence",
+    "last_write",
+    "final_value",
+    "clean_write_sequence",
+    "clean_last_write",
+    "clean_final_value",
+    "RWSpec",
+]
+
+
+@dataclass(frozen=True)
+class ReadOp:
+    """The read operation descriptor (no parameters)."""
+
+    def __str__(self) -> str:
+        return "read"
+
+
+@dataclass(frozen=True)
+class WriteOp:
+    """The write operation descriptor; ``data`` is the value written."""
+
+    data: Any
+
+    def __post_init__(self) -> None:
+        hash(self.data)
+
+    def __str__(self) -> str:
+        return f"write({self.data!r})"
+
+
+#: The fixed return value of every write access (Section 3.1).
+OK = "OK"
+
+
+def is_read_access(name: TransactionName, system_type: SystemType) -> bool:
+    """True iff ``name`` is an access performing a read."""
+    return system_type.is_access(name) and isinstance(
+        system_type.access(name).op, ReadOp
+    )
+
+
+def is_write_access(name: TransactionName, system_type: SystemType) -> bool:
+    """True iff ``name`` is an access performing a write."""
+    return system_type.is_access(name) and isinstance(
+        system_type.access(name).op, WriteOp
+    )
+
+
+def write_sequence(
+    behavior: Sequence[Action], obj: ObjectName, system_type: SystemType
+) -> Tuple[RequestCommit, ...]:
+    """``write-sequence(beta, X)``: REQUEST_COMMIT events of writes to ``X``."""
+    return tuple(
+        action
+        for action in behavior
+        if isinstance(action, RequestCommit)
+        and is_write_access(action.transaction, system_type)
+        and system_type.object_of(action.transaction) == obj
+    )
+
+
+def last_write(
+    behavior: Sequence[Action], obj: ObjectName, system_type: SystemType
+) -> Optional[TransactionName]:
+    """``last-write(beta, X)``: the transaction of the last write, if any."""
+    writes = write_sequence(behavior, obj, system_type)
+    return writes[-1].transaction if writes else None
+
+
+def final_value(
+    behavior: Sequence[Action], obj: ObjectName, system_type: SystemType
+) -> Any:
+    """``final-value(beta, X)``: the latest value written, else the initial value."""
+    writer = last_write(behavior, obj, system_type)
+    if writer is None:
+        return system_type.spec(obj).initial
+    return system_type.access(writer).op.data
+
+
+def clean_write_sequence(
+    behavior: Sequence[Action],
+    obj: ObjectName,
+    system_type: SystemType,
+    index: Optional[StatusIndex] = None,
+) -> Tuple[RequestCommit, ...]:
+    """``clean-write-sequence(beta, X) = write-sequence(clean(beta), X)``."""
+    return write_sequence(clean_projection(behavior, index), obj, system_type)
+
+
+def clean_last_write(
+    behavior: Sequence[Action],
+    obj: ObjectName,
+    system_type: SystemType,
+    index: Optional[StatusIndex] = None,
+) -> Optional[TransactionName]:
+    """``clean-last-write(beta, X) = last-write(clean(beta), X)``."""
+    return last_write(clean_projection(behavior, index), obj, system_type)
+
+
+def clean_final_value(
+    behavior: Sequence[Action],
+    obj: ObjectName,
+    system_type: SystemType,
+    index: Optional[StatusIndex] = None,
+) -> Any:
+    """``clean-final-value(beta, X) = final-value(clean(beta), X)``."""
+    return final_value(clean_projection(behavior, index), obj, system_type)
+
+
+@dataclass(frozen=True)
+class RWSpec:
+    """The serial specification of a read/write object.
+
+    Exposes the protocol the correctness checkers rely on:
+
+    * ``initial`` — the initial value ``d``;
+    * :meth:`replay` — run a sequence of ``(op, value)`` pairs, returning
+      the final data value, or raising ``ValueError`` on an illegal pair
+      (Lemma 4: a read must return the latest written value, a write must
+      return ``OK``);
+    * :meth:`is_legal` — the boolean form of :meth:`replay`;
+    * :meth:`conflicts` — the RW conflict relation of Section 4: two
+      operations conflict unless both are reads.
+    """
+
+    initial: Any = None
+
+    def apply(self, state: Any, op: Any) -> Tuple[Any, Any]:
+        """Apply one operation to a data value; returns ``(new_state, value)``.
+
+        The same protocol as :meth:`repro.spec.datatype.DataType.apply`,
+        so read/write objects and typed objects are interchangeable for
+        replay-based checkers.
+        """
+        if isinstance(op, WriteOp):
+            return op.data, OK
+        if isinstance(op, ReadOp):
+            return state, state
+        raise TypeError(f"not a read/write operation: {op!r}")
+
+    def replay(self, pairs: Sequence[Tuple[Any, Any]]) -> Any:
+        data = self.initial
+        for op, value in pairs:
+            data, expected = self.apply(data, op)
+            if value != expected:
+                raise ValueError(
+                    f"{op} returned {value!r}, expected {expected!r}"
+                )
+        return data
+
+    def is_legal(self, pairs: Sequence[Tuple[Any, Any]]) -> bool:
+        try:
+            self.replay(pairs)
+        except ValueError:
+            return False
+        return True
+
+    def result_of(self, pairs: Sequence[Tuple[Any, Any]], op: Any) -> Any:
+        """The value the next operation ``op`` must return after ``pairs``."""
+        data = self.replay(pairs)
+        if isinstance(op, WriteOp):
+            return OK
+        if isinstance(op, ReadOp):
+            return data
+        raise TypeError(f"not a read/write operation: {op!r}")
+
+    def conflicts(self, op1: Any, value1: Any, op2: Any, value2: Any) -> bool:
+        """Two RW operations conflict iff at least one is a write."""
+        return isinstance(op1, WriteOp) or isinstance(op2, WriteOp)

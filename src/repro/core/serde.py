@@ -1,0 +1,275 @@
+"""JSON serialization for behaviors and system types.
+
+Recorded behaviors are the natural interchange format of this library —
+a production system would log its serial actions and audit them offline
+with the certifier.  This module round-trips behaviors and system types
+(read/write objects and all built-in data types) through plain JSON.
+
+Values and operation parameters are restricted to JSON-representable
+scalars plus tuples/frozensets of them; this covers every type shipped
+with the library.  Unknown specs or exotic values raise ``TypeError``
+at encode time rather than producing lossy output.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
+
+from .actions import (
+    Abort,
+    Action,
+    Behavior,
+    Commit,
+    Create,
+    InformAbort,
+    InformCommit,
+    ReportAbort,
+    ReportCommit,
+    RequestCommit,
+    RequestCreate,
+)
+from .names import Access, ObjectName, SystemType, TransactionName
+from .rw_semantics import ReadOp, RWSpec, WriteOp
+
+__all__ = [
+    "behavior_to_json",
+    "behavior_from_json",
+    "system_type_to_json",
+    "system_type_from_json",
+    "dump_case",
+    "load_case",
+]
+
+_ACTION_KINDS = {
+    "create": Create,
+    "request_create": RequestCreate,
+    "request_commit": RequestCommit,
+    "commit": Commit,
+    "abort": Abort,
+    "report_commit": ReportCommit,
+    "report_abort": ReportAbort,
+    "inform_commit": InformCommit,
+    "inform_abort": InformAbort,
+}
+_KIND_OF = {cls: kind for kind, cls in _ACTION_KINDS.items()}
+
+
+def _encode_value(value: Any) -> Any:
+    """Encode a return value / op parameter as tagged JSON."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return {"t": "scalar", "v": value}
+    if isinstance(value, tuple):
+        return {"t": "tuple", "v": [_encode_value(item) for item in value]}
+    if isinstance(value, frozenset):
+        return {
+            "t": "frozenset",
+            "v": sorted((_encode_value(item) for item in value), key=json.dumps),
+        }
+    raise TypeError(f"cannot encode value of type {type(value).__name__}: {value!r}")
+
+
+def _decode_value(blob: Any) -> Any:
+    tag = blob["t"]
+    if tag == "scalar":
+        return blob["v"]
+    if tag == "tuple":
+        return tuple(_decode_value(item) for item in blob["v"])
+    if tag == "frozenset":
+        return frozenset(_decode_value(item) for item in blob["v"])
+    raise ValueError(f"unknown value tag {tag!r}")
+
+
+def _encode_op(op: Any) -> Dict[str, Any]:
+    """Encode an operation descriptor (RW ops and all built-in type ops)."""
+    from ..spec import builtin
+
+    table = [
+        (ReadOp, ()),
+        (WriteOp, ("data",)),
+        (builtin.RegRead, ()),
+        (builtin.RegWrite, ("data",)),
+        (builtin.CounterInc, ("amount",)),
+        (builtin.CounterRead, ()),
+        (builtin.SetInsert, ("element",)),
+        (builtin.SetRemove, ("element",)),
+        (builtin.SetMember, ("element",)),
+        (builtin.Deposit, ("amount",)),
+        (builtin.Withdraw, ("amount",)),
+        (builtin.BalanceRead, ()),
+        (builtin.Enqueue, ("element",)),
+        (builtin.Dequeue, ()),
+        (builtin.MapPut, ("key", "value")),
+        (builtin.MapGet, ("key",)),
+        (builtin.MapRemove, ("key",)),
+    ]
+    for cls, fields in table:
+        if isinstance(op, cls):
+            return {
+                "op": cls.__name__,
+                "args": {name: _encode_value(getattr(op, name)) for name in fields},
+            }
+    raise TypeError(f"cannot encode operation {op!r}")
+
+
+def _decode_op(blob: Mapping[str, Any]) -> Any:
+    from ..spec import builtin
+
+    classes = {
+        cls.__name__: cls
+        for cls in (
+            ReadOp,
+            WriteOp,
+            builtin.RegRead,
+            builtin.RegWrite,
+            builtin.CounterInc,
+            builtin.CounterRead,
+            builtin.SetInsert,
+            builtin.SetRemove,
+            builtin.SetMember,
+            builtin.Deposit,
+            builtin.Withdraw,
+            builtin.BalanceRead,
+            builtin.Enqueue,
+            builtin.Dequeue,
+            builtin.MapPut,
+            builtin.MapGet,
+            builtin.MapRemove,
+        )
+    }
+    cls = classes[blob["op"]]
+    args = {name: _decode_value(value) for name, value in blob["args"].items()}
+    return cls(**args)
+
+
+def _encode_spec(spec: Any) -> Dict[str, Any]:
+    from ..spec import builtin
+
+    if isinstance(spec, RWSpec):
+        return {"spec": "RWSpec", "initial": _encode_value(spec.initial)}
+    for cls in (
+        builtin.RegisterType,
+        builtin.CounterType,
+        builtin.SetType,
+        builtin.BankAccountType,
+        builtin.QueueType,
+        builtin.MapType,
+    ):
+        if isinstance(spec, cls):
+            return {"spec": cls.__name__, "initial": _encode_value(spec.initial)}
+    raise TypeError(f"cannot encode spec {spec!r}")
+
+
+def _decode_spec(blob: Mapping[str, Any]) -> Any:
+    from ..spec import builtin
+
+    initial = _decode_value(blob["initial"])
+    name = blob["spec"]
+    if name == "RWSpec":
+        return RWSpec(initial=initial)
+    classes = {
+        cls.__name__: cls
+        for cls in (
+            builtin.RegisterType,
+            builtin.CounterType,
+            builtin.SetType,
+            builtin.BankAccountType,
+            builtin.QueueType,
+            builtin.MapType,
+        )
+    }
+    return classes[name](initial=initial)
+
+
+# -- behaviors ----------------------------------------------------------------
+
+
+def behavior_to_json(behavior: Sequence[Action]) -> List[Dict[str, Any]]:
+    """Encode a behavior as a list of JSON objects."""
+    encoded = []
+    for action in behavior:
+        blob: Dict[str, Any] = {
+            "kind": _KIND_OF[type(action)],
+            "transaction": list(action.transaction.path),
+        }
+        if isinstance(action, (RequestCommit, ReportCommit)):
+            blob["value"] = _encode_value(action.value)
+        if isinstance(action, (InformCommit, InformAbort)):
+            blob["object"] = action.obj.name
+        encoded.append(blob)
+    return encoded
+
+
+def behavior_from_json(blobs: Sequence[Mapping[str, Any]]) -> Behavior:
+    """Decode a behavior produced by :func:`behavior_to_json`."""
+    actions: List[Action] = []
+    for blob in blobs:
+        cls = _ACTION_KINDS[blob["kind"]]
+        transaction = TransactionName(tuple(blob["transaction"]))
+        if cls in (RequestCommit, ReportCommit):
+            actions.append(cls(transaction, _decode_value(blob["value"])))
+        elif cls in (InformCommit, InformAbort):
+            actions.append(cls(ObjectName(blob["object"]), transaction))
+        else:
+            actions.append(cls(transaction))
+    return tuple(actions)
+
+
+# -- system types --------------------------------------------------------------
+
+
+def system_type_to_json(system_type: SystemType) -> Dict[str, Any]:
+    """Encode a system type (objects + specs + access registry)."""
+    return {
+        "objects": {
+            obj.name: _encode_spec(system_type.spec(obj))
+            for obj in system_type.object_names()
+        },
+        "accesses": [
+            {
+                "transaction": list(name.path),
+                "object": access.obj.name,
+                "operation": _encode_op(access.op),
+            }
+            for name, access in sorted(system_type.all_accesses().items())
+        ],
+    }
+
+
+def system_type_from_json(blob: Mapping[str, Any]) -> SystemType:
+    """Decode a system type produced by :func:`system_type_to_json`."""
+    objects = {
+        ObjectName(name): _decode_spec(spec) for name, spec in blob["objects"].items()
+    }
+    system_type = SystemType(objects)
+    for entry in blob["accesses"]:
+        system_type.register_access(
+            TransactionName(tuple(entry["transaction"])),
+            Access(ObjectName(entry["object"]), _decode_op(entry["operation"])),
+        )
+    return system_type
+
+
+# -- whole cases ---------------------------------------------------------------
+
+
+def dump_case(behavior: Sequence[Action], system_type: SystemType) -> str:
+    """Serialize a (behavior, system type) pair to a JSON string."""
+    return json.dumps(
+        {
+            "format": "repro-case-v1",
+            "system_type": system_type_to_json(system_type),
+            "behavior": behavior_to_json(behavior),
+        },
+        indent=2,
+    )
+
+
+def load_case(text: str) -> Tuple[Behavior, SystemType]:
+    """Load a (behavior, system type) pair from :func:`dump_case` output."""
+    blob = json.loads(text)
+    if blob.get("format") != "repro-case-v1":
+        raise ValueError(f"unsupported case format: {blob.get('format')!r}")
+    system_type = system_type_from_json(blob["system_type"])
+    behavior = behavior_from_json(blob["behavior"])
+    return behavior, system_type

@@ -1,0 +1,5 @@
+"""Extensions beyond the paper's verified algorithms (its future work)."""
+
+from .mvto import MVTORWObject, MVTOState, Version
+
+__all__ = ["MVTORWObject", "MVTOState", "Version"]

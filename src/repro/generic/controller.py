@@ -1,0 +1,206 @@
+"""The generic controller automaton (Section 5.1).
+
+The generic controller passes creation requests on, decides commits and
+aborts, reports completions to parents, and informs objects of the fate
+of transactions.  Unlike the serial scheduler it permits sibling
+concurrency and may abort transactions that have already been created —
+coping with the consequences is the generic objects' job.
+
+Nondeterminism notes: the controller may deliver informs in any order
+and at any time after the completion; the driver's scheduling policy
+resolves these choices.  To keep the enabled-action enumeration finite
+we track delivered informs and reports (re-delivery, while harmless in
+the model, is never useful to a simulation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, FrozenSet, Iterator, Tuple
+
+from ..automata.base import IOAutomaton
+from ..core.actions import (
+    Abort,
+    Action,
+    Commit,
+    Create,
+    InformAbort,
+    InformCommit,
+    ReportAbort,
+    ReportCommit,
+    RequestCommit,
+    RequestCreate,
+)
+from ..core.names import ObjectName, SystemType, TransactionName
+
+__all__ = ["GenericControllerState", "GenericController"]
+
+
+@dataclass(frozen=True)
+class GenericControllerState:
+    """Immutable bookkeeping of requests, completions, reports and informs.
+
+    ``commit_values`` is a copy-on-write dict (never mutated in place), so
+    value lookups stay O(1) even in large simulations.
+    """
+
+    create_requested: FrozenSet[TransactionName] = frozenset()
+    created: FrozenSet[TransactionName] = frozenset()
+    commit_values: "Dict[TransactionName, Any]" = field(default_factory=dict)
+    committed: FrozenSet[TransactionName] = frozenset()
+    aborted: FrozenSet[TransactionName] = frozenset()
+    reported: FrozenSet[TransactionName] = frozenset()
+    informed: FrozenSet[Tuple[ObjectName, TransactionName]] = frozenset()
+
+    def completed(self, transaction: TransactionName) -> bool:
+        return transaction in self.committed or transaction in self.aborted
+
+    def commit_requested(self, transaction: TransactionName) -> bool:
+        return transaction in self.commit_values
+
+    def value_of(self, transaction: TransactionName) -> Any:
+        return self.commit_values[transaction]
+
+
+class GenericController(IOAutomaton):
+    """The generic controller for a given system type."""
+
+    name = "generic-controller"
+
+    def __init__(self, system_type: SystemType) -> None:
+        self.system_type = system_type
+        # Which objects care about a transaction's fate: those with an
+        # access in its subtree.  The model permits informing any object
+        # about any transaction (see ``enabled``), but enumerating only
+        # the relevant pairs keeps simulations linear — informs outside
+        # this map cannot affect any object's state.
+        self._relevant_objects: dict = {}
+        for access, info in system_type.all_accesses().items():
+            for ancestor in access.ancestors():
+                if ancestor.is_root:
+                    continue
+                self._relevant_objects.setdefault(ancestor, set()).add(info.obj)
+
+    # -- signature ---------------------------------------------------------
+
+    def is_input(self, action: Action) -> bool:
+        return isinstance(action, (RequestCreate, RequestCommit))
+
+    def is_output(self, action: Action) -> bool:
+        return isinstance(
+            action,
+            (Create, Commit, Abort, ReportCommit, ReportAbort, InformCommit, InformAbort),
+        )
+
+    # -- transitions ----------------------------------------------------------
+
+    def initial_state(self) -> GenericControllerState:
+        return GenericControllerState()
+
+    def enabled(self, state: GenericControllerState, action: Action) -> bool:
+        if self.is_input(action):
+            return True
+        if isinstance(action, Create):
+            transaction = action.transaction
+            return (
+                transaction in state.create_requested
+                and transaction not in state.created
+            )
+        if isinstance(action, Commit):
+            transaction = action.transaction
+            return state.commit_requested(transaction) and not state.completed(
+                transaction
+            )
+        if isinstance(action, Abort):
+            transaction = action.transaction
+            return (
+                transaction in state.create_requested
+                and not state.completed(transaction)
+            )
+        if isinstance(action, ReportCommit):
+            transaction = action.transaction
+            return (
+                transaction in state.committed
+                and transaction not in state.reported
+                and state.value_of(transaction) == action.value
+            )
+        if isinstance(action, ReportAbort):
+            transaction = action.transaction
+            return transaction in state.aborted and transaction not in state.reported
+        if isinstance(action, InformCommit):
+            return (
+                action.transaction in state.committed
+                and (action.obj, action.transaction) not in state.informed
+            )
+        if isinstance(action, InformAbort):
+            return (
+                action.transaction in state.aborted
+                and (action.obj, action.transaction) not in state.informed
+            )
+        return False
+
+    def effect(
+        self, state: GenericControllerState, action: Action
+    ) -> GenericControllerState:
+        if isinstance(action, RequestCreate):
+            return replace(
+                state, create_requested=state.create_requested | {action.transaction}
+            )
+        if isinstance(action, RequestCommit):
+            if state.commit_requested(action.transaction):
+                return state
+            updated = dict(state.commit_values)
+            updated[action.transaction] = action.value
+            return replace(state, commit_values=updated)
+        if isinstance(action, Create):
+            return replace(state, created=state.created | {action.transaction})
+        if isinstance(action, Commit):
+            return replace(state, committed=state.committed | {action.transaction})
+        if isinstance(action, Abort):
+            return replace(state, aborted=state.aborted | {action.transaction})
+        if isinstance(action, (ReportCommit, ReportAbort)):
+            return replace(state, reported=state.reported | {action.transaction})
+        if isinstance(action, (InformCommit, InformAbort)):
+            return replace(
+                state, informed=state.informed | {(action.obj, action.transaction)}
+            )
+        raise ValueError(f"{self.name}: {action} not in signature")
+
+    def enabled_outputs(self, state: GenericControllerState) -> Iterator[Action]:
+        for transaction in sorted(state.create_requested):
+            create = Create(transaction)
+            if self.enabled(state, create):
+                yield create
+        for transaction in state.commit_values:
+            commit = Commit(transaction)
+            if self.enabled(state, commit):
+                yield commit
+        for transaction in sorted(state.committed):
+            report = ReportCommit(transaction, state.value_of(transaction))
+            if self.enabled(state, report):
+                yield report
+            for obj in sorted(self._relevant_objects.get(transaction, ())):
+                inform = InformCommit(obj, transaction)
+                if self.enabled(state, inform):
+                    yield inform
+        for transaction in sorted(state.aborted):
+            report_abort = ReportAbort(transaction)
+            if self.enabled(state, report_abort):
+                yield report_abort
+            for obj in sorted(self._relevant_objects.get(transaction, ())):
+                inform_abort = InformAbort(obj, transaction)
+                if self.enabled(state, inform_abort):
+                    yield inform_abort
+
+    def enabled_aborts(self, state: GenericControllerState) -> Iterator[Abort]:
+        """Abort actions currently enabled — used by fault-injection policies.
+
+        Aborts are deliberately kept out of :meth:`enabled_outputs` so that
+        a simulated run only aborts transactions when its policy decides to
+        inject a fault; the automaton itself still models them as ordinary
+        enabled outputs via :meth:`enabled`.
+        """
+        for transaction in sorted(state.create_requested):
+            abort = Abort(transaction)
+            if self.enabled(state, abort):
+                yield abort

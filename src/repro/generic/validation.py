@@ -1,0 +1,173 @@
+"""A validation battery for user-defined generic object algorithms.
+
+The paper's modularity promise cuts both ways: anyone may plug in their
+own concurrency control/recovery object, and *should then validate it
+the way this library validates Moss locking and undo logging*.  This
+module packages that battery:
+
+* randomized driver runs across seeds, policies and abort rates, each
+  behavior judged by the Theorem 8/19 certifier (with witness);
+* simple-behavior well-formedness of every produced run;
+* the completion-order check (the Propositions 16/24 proof argument) —
+  reported but not required, since a correct algorithm may serialise in
+  an order other than completion order (MVTO legitimately fails it);
+* small-instance cross-examination against the brute-force oracle.
+
+Returns a structured :class:`ValidationReport`; `passed` is the overall
+verdict.  See ``docs/TUTORIAL.md`` for the data-type-level checks that
+complement this system-level battery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from ..core.completion_order import edges_respect_completion_order
+from ..core.correctness import certify
+from ..core.oracle import oracle_serially_correct
+from ..core.events import serial_projection
+from ..core.serialization_graph import build_serialization_graph
+from ..sim.driver import run_system
+from ..sim.faults import AbortInjector
+from ..sim.policies import EagerInformPolicy, RandomPolicy
+from ..sim.workload import ObjectKind, RWKind, WorkloadConfig, generate_workload
+from .system import ObjectFactory, make_generic_system
+
+__all__ = ["RunOutcome", "ValidationReport", "validate_object_algorithm"]
+
+
+@dataclass
+class RunOutcome:
+    """The judgement of one validation run."""
+
+    seed: int
+    policy: str
+    abort_rate: float
+    certified: bool
+    witness_ok: bool
+    simple_ok: bool
+    completion_order_ok: bool
+    oracle_ok: Optional[bool]  # None when not attempted (instance too big)
+    detail: str = ""
+
+
+@dataclass
+class ValidationReport:
+    """Aggregate result of :func:`validate_object_algorithm`."""
+
+    outcomes: List[RunOutcome] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        """All runs certified, witnesses valid, inputs well-formed, and no
+        oracle disagreement (completion order is informational only)."""
+        return all(
+            o.certified and o.witness_ok and o.simple_ok and o.oracle_ok is not False
+            for o in self.outcomes
+        )
+
+    @property
+    def completion_order_always_held(self) -> bool:
+        """True when every run's SG edges sat inside the completion order —
+        evidence the algorithm serialises by completion, like Moss/undo."""
+        return all(o.completion_order_ok for o in self.outcomes)
+
+    def failures(self) -> List[RunOutcome]:
+        """The outcomes that make :attr:`passed` false."""
+        return [
+            o
+            for o in self.outcomes
+            if not (o.certified and o.witness_ok and o.simple_ok)
+            or o.oracle_ok is False
+        ]
+
+    def summary(self) -> str:
+        """One-paragraph human summary."""
+        verdict = "PASSED" if self.passed else "FAILED"
+        completion = (
+            "completion-order serialisation held throughout"
+            if self.completion_order_always_held
+            else "some runs serialise outside completion order (not an error)"
+        )
+        return (
+            f"{verdict}: {len(self.outcomes)} runs, "
+            f"{len(self.failures())} failing; {completion}."
+        )
+
+
+def validate_object_algorithm(
+    factory: ObjectFactory,
+    kind: Optional[ObjectKind] = None,
+    seeds: Sequence[int] = range(5),
+    abort_rates: Sequence[float] = (0.0, 0.2),
+    top_level: int = 4,
+    objects: int = 2,
+    max_depth: int = 2,
+    max_steps: int = 6000,
+    oracle_budget: int = 2000,
+) -> ValidationReport:
+    """Run the standard validation battery against an object algorithm.
+
+    ``factory`` builds the generic object (``factory(obj, system_type)``);
+    ``kind`` supplies workloads whose specs the factory accepts (defaults
+    to read/write objects).  Small instances are additionally checked
+    against the brute-force oracle.
+    """
+    from ..serial.simple_db import check_simple_behavior
+
+    kind = kind if kind is not None else RWKind()
+    report = ValidationReport()
+    for abort_rate in abort_rates:
+        for seed in seeds:
+            config = WorkloadConfig(
+                seed=seed,
+                top_level=top_level,
+                objects=objects,
+                max_depth=max_depth,
+                kind=kind,
+            )
+            system_type, programs = generate_workload(config)
+            system = make_generic_system(system_type, programs, factory)
+            policy_name = "eager" if seed % 2 == 0 else "random"
+            base = (
+                EagerInformPolicy(seed=seed)
+                if policy_name == "eager"
+                else RandomPolicy(seed)
+            )
+            policy = (
+                AbortInjector(base, abort_rate=abort_rate, seed=seed)
+                if abort_rate
+                else base
+            )
+            result = run_system(
+                system, policy, system_type, max_steps=max_steps,
+                resolve_deadlocks=True,
+            )
+            serial = serial_projection(result.behavior)
+            certificate = certify(result.behavior, system_type)
+            graph = build_serialization_graph(serial, system_type)
+            oracle_ok: Optional[bool] = None
+            if top_level <= 4 and certificate.certified:
+                oracle_ok = bool(
+                    oracle_serially_correct(
+                        result.behavior, system_type, max_orders=oracle_budget
+                    )
+                )
+            detail = "" if certificate.certified else certificate.explain()
+            report.outcomes.append(
+                RunOutcome(
+                    seed=seed,
+                    policy=policy_name,
+                    abort_rate=abort_rate,
+                    certified=certificate.certified,
+                    witness_ok=not certificate.witness_problems,
+                    simple_ok=not check_simple_behavior(serial, system_type),
+                    completion_order_ok=not edges_respect_completion_order(
+                        serial, graph
+                    ),
+                    oracle_ok=oracle_ok,
+                    detail=detail,
+                )
+            )
+    return report

@@ -1,0 +1,96 @@
+"""Local visibility notions deducible from a generic object's own behavior.
+
+Section 5.3 (for Moss locking) and Section 6.3 (for undo logging) define
+what an object can conclude about transaction status from the INFORM
+events it has received:
+
+* ``T`` is a *local orphan* at ``X`` when an ``INFORM_ABORT_AT(X)OF(U)``
+  arrived for some ancestor ``U`` of ``T``;
+* ``T`` is *lock-visible* at ``X`` to ``T'`` when INFORM_COMMITs arrived
+  for every ancestor of ``T`` up to (excluding) an ancestor of ``T'``,
+  **in ascending (leaf-to-root) order** — the order in which Moss
+  locking propagates locks;
+* ``T`` is *locally visible* at ``X`` to ``T'`` when the same informs
+  arrived in *any* order — the weaker notion the undo logging algorithm
+  needs.
+
+All three are functions of the object's projected behavior; the driver
+tests check the paper's remark that lock-visible/locally-visible at
+``X`` implies visible in the whole system behavior.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..core.actions import Action, InformAbort, InformCommit
+from ..core.names import ObjectName, TransactionName
+
+__all__ = ["is_local_orphan", "is_lock_visible", "is_locally_visible", "inform_chain"]
+
+
+def is_local_orphan(
+    behavior: Sequence[Action], obj: ObjectName, transaction: TransactionName
+) -> bool:
+    """Did an INFORM_ABORT at ``obj`` arrive for an ancestor of ``transaction``?"""
+    for action in behavior:
+        if isinstance(action, InformAbort) and action.obj == obj:
+            if action.transaction.is_ancestor_of(transaction):
+                return True
+    return False
+
+
+def inform_chain(
+    source: TransactionName, target: TransactionName
+) -> List[TransactionName]:
+    """``ancestors(source) - ancestors(target)``, ordered leaf-to-root."""
+    chain: List[TransactionName] = []
+    for ancestor in source.ancestors():
+        if ancestor.is_ancestor_of(target):
+            break
+        chain.append(ancestor)
+    return chain
+
+
+def is_lock_visible(
+    behavior: Sequence[Action],
+    obj: ObjectName,
+    source: TransactionName,
+    target: TransactionName,
+) -> bool:
+    """Moss visibility: INFORM_COMMITs for the chain, in ascending order.
+
+    ``behavior`` must contain a *subsequence* of INFORM_COMMIT events at
+    ``obj`` covering every ancestor of ``source`` that is not an ancestor
+    of ``target``, arranged so the inform for a transaction precedes the
+    inform for its parent.
+    """
+    chain = inform_chain(source, target)
+    if not chain:
+        return True
+    needed = 0
+    for action in behavior:
+        if isinstance(action, InformCommit) and action.obj == obj:
+            if action.transaction == chain[needed]:
+                needed += 1
+                if needed == len(chain):
+                    return True
+    return False
+
+
+def is_locally_visible(
+    behavior: Sequence[Action],
+    obj: ObjectName,
+    source: TransactionName,
+    target: TransactionName,
+) -> bool:
+    """Undo-logging visibility: the chain's INFORM_COMMITs in any order."""
+    chain = set(inform_chain(source, target))
+    if not chain:
+        return True
+    for action in behavior:
+        if isinstance(action, InformCommit) and action.obj == obj:
+            chain.discard(action.transaction)
+            if not chain:
+                return True
+    return False

@@ -1,0 +1,96 @@
+"""Human-facing reports: certificate summaries and Graphviz export.
+
+The certifier produces structured results (:class:`repro.core.Certificate`);
+this module renders them for people — a text report suitable for logs
+and a DOT rendering of the serialization graph for visual inspection
+(`dot -Tpng` or any Graphviz viewer).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from .core.actions import Action, format_behavior
+from .core.correctness import Certificate
+from .core.events import StatusIndex, serial_projection
+from .core.names import ROOT, SystemType
+from .core.serialization_graph import CONFLICT, PRECEDES, SerializationGraph
+
+__all__ = ["serialization_graph_to_dot", "certificate_report", "behavior_summary"]
+
+_EDGE_STYLE = {
+    CONFLICT: 'color="firebrick"',
+    PRECEDES: 'color="steelblue", style=dashed',
+}
+
+
+def serialization_graph_to_dot(graph: SerializationGraph) -> str:
+    """Render ``SG(beta)`` as Graphviz DOT, one cluster per sibling group."""
+    lines = ["digraph SG {", "  rankdir=LR;", "  node [shape=box, fontsize=10];"]
+    for cluster, parent in enumerate(graph.parents()):
+        lines.append(f"  subgraph cluster_{cluster} {{")
+        lines.append(f'    label="children of {parent}";')
+        sub = graph.graph_for(parent)
+        for node in sub.nodes():
+            lines.append(f'    "{node}";')
+        for src, dst, labels in sub.edges():
+            for label in sorted(labels) or [""]:
+                style = _EDGE_STYLE.get(label, "")
+                attributes = f'label="{label}"' + (f", {style}" if style else "")
+                lines.append(f'    "{src}" -> "{dst}" [{attributes}];')
+        lines.append("  }")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def behavior_summary(
+    behavior: Sequence[Action], system_type: SystemType
+) -> List[str]:
+    """A few orientation lines about a behavior (sizes, completions)."""
+    serial = serial_projection(behavior)
+    index = StatusIndex(serial)
+    accesses = sum(
+        1 for t in index.commit_requested if system_type.is_access(t)
+    )
+    return [
+        f"events: {len(behavior)} total, {len(serial)} serial",
+        f"transactions committed: {len(index.committed)}, "
+        f"aborted: {len(index.aborted)}",
+        f"accesses answered: {accesses}",
+        f"objects: {len(system_type.object_names())}",
+    ]
+
+
+def certificate_report(
+    certificate: Certificate,
+    behavior: Optional[Sequence[Action]] = None,
+    system_type: Optional[SystemType] = None,
+    witness_preview: int = 0,
+) -> str:
+    """A multi-line text report of a certification outcome."""
+    lines: List[str] = []
+    if behavior is not None and system_type is not None:
+        lines.extend(behavior_summary(behavior, system_type))
+        lines.append("")
+    lines.append(certificate.explain())
+    graph = certificate.graph
+    lines.append(
+        f"serialization graph: {len(graph.parents())} sibling group(s), "
+        f"{len(graph.nodes())} node(s), {graph.edge_count()} edge(s)"
+    )
+    conflict_edges = [e for e in graph.edges() if e.kind == CONFLICT]
+    precedes_edges = [e for e in graph.edges() if e.kind == PRECEDES]
+    lines.append(
+        f"  {len(conflict_edges)} conflict edge(s), "
+        f"{len(precedes_edges)} precedes edge(s)"
+    )
+    for edge in list(graph.edges())[:20]:
+        lines.append(f"  {edge}")
+    if certificate.witness is not None and witness_preview > 0:
+        lines.append("")
+        lines.append(
+            f"witness serial behavior ({len(certificate.witness)} events, "
+            f"showing {min(witness_preview, len(certificate.witness))}):"
+        )
+        lines.append(format_behavior(certificate.witness[:witness_preview]))
+    return "\n".join(lines)

@@ -1,0 +1,214 @@
+"""Canonical behaviors: the textbook anomalies and boundary cases.
+
+Hand-built simple behaviors for the situations the theory talks about,
+usable as test fixtures, documentation, and CLI demonstrations:
+
+* ``serial``            — a trivially serial two-transaction behavior;
+* ``lost-update``       — racing read-modify-writes (SG cycle, genuinely
+  incorrect);
+* ``dirty-read``        — a committed reader of an aborted writer's value
+  (ARV violation, genuinely incorrect);
+* ``write-skew``        — crossed read/write pairs on two objects
+  (SG cycle, genuinely incorrect);
+* ``blind-writes``      — opposite-order blind writes (SG cycle but
+  serially correct: the sufficiency gap of Theorem 8);
+* ``mvto-stale-read``   — a low-timestamp reader of an old version
+  (ARV failure against event order but serially correct: the
+  multiversion boundary).
+
+Each scenario returns ``(behavior, system_type, expectation)`` where
+``expectation`` records the ground truth and the predicted certifier
+verdict — asserted in the test suite and printed by
+``python -m repro scenarios``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from .core.actions import (
+    Abort,
+    Behavior,
+    Commit,
+    Create,
+    ReportAbort,
+    ReportCommit,
+    RequestCommit,
+    RequestCreate,
+)
+from .core.names import Access, ObjectName, SystemType, TransactionName
+from .core.rw_semantics import OK, ReadOp, RWSpec, WriteOp
+
+__all__ = ["Expectation", "SCENARIOS", "build_scenario", "scenario_names"]
+
+
+@dataclass(frozen=True)
+class Expectation:
+    """Ground truth and predicted verdicts for a scenario."""
+
+    serially_correct: bool
+    certified: bool
+    reason: str
+
+
+class _Builder:
+    def __init__(self, objects: Dict[str, int]) -> None:
+        self.system_type = SystemType(
+            {ObjectName(name): RWSpec(initial=value) for name, value in objects.items()}
+        )
+        self.events: List = []
+
+    def begin(self, name: str) -> TransactionName:
+        txn = TransactionName((name,))
+        self.events += [RequestCreate(txn), Create(txn)]
+        return txn
+
+    def access(self, parent, comp, obj, operation, value, commit=True):
+        leaf = parent.child(comp)
+        self.system_type.register_access(leaf, Access(ObjectName(obj), operation))
+        self.events += [
+            RequestCreate(leaf),
+            Create(leaf),
+            RequestCommit(leaf, value),
+        ]
+        if commit:
+            self.events += [Commit(leaf), ReportCommit(leaf, value)]
+        return leaf
+
+    def commit(self, txn, value="done"):
+        self.events += [
+            RequestCommit(txn, value),
+            Commit(txn),
+            ReportCommit(txn, value),
+        ]
+
+    def abort(self, txn):
+        self.events += [Abort(txn), ReportAbort(txn)]
+
+    def done(self) -> Tuple[Behavior, SystemType]:
+        return tuple(self.events), self.system_type
+
+
+def _serial() -> Tuple[Behavior, SystemType]:
+    b = _Builder({"x": 0})
+    t1 = b.begin("t1")
+    b.access(t1, "w", "x", WriteOp(7), OK)
+    b.commit(t1)
+    t2 = b.begin("t2")
+    b.access(t2, "r", "x", ReadOp(), 7)
+    b.commit(t2)
+    return b.done()
+
+
+def _lost_update() -> Tuple[Behavior, SystemType]:
+    b = _Builder({"x": 0})
+    t1, t2 = b.begin("t1"), b.begin("t2")
+    b.access(t1, "r", "x", ReadOp(), 0)
+    b.access(t2, "r", "x", ReadOp(), 0)
+    b.access(t1, "w", "x", WriteOp(1), OK)
+    b.access(t2, "w", "x", WriteOp(1), OK)
+    b.commit(t1)
+    b.commit(t2)
+    return b.done()
+
+
+def _dirty_read() -> Tuple[Behavior, SystemType]:
+    b = _Builder({"x": 0})
+    t1, t2 = b.begin("t1"), b.begin("t2")
+    b.access(t1, "w", "x", WriteOp(5), OK)
+    b.access(t2, "r", "x", ReadOp(), 5)
+    b.commit(t2)
+    b.abort(t1)
+    return b.done()
+
+
+def _write_skew() -> Tuple[Behavior, SystemType]:
+    b = _Builder({"x": 0, "y": 0})
+    t1, t2 = b.begin("t1"), b.begin("t2")
+    b.access(t1, "rx", "x", ReadOp(), 0)
+    b.access(t2, "ry", "y", ReadOp(), 0)
+    b.access(t1, "wy", "y", WriteOp(1), OK)
+    b.access(t2, "wx", "x", WriteOp(1), OK)
+    b.commit(t1)
+    b.commit(t2)
+    return b.done()
+
+
+def _blind_writes() -> Tuple[Behavior, SystemType]:
+    b = _Builder({"x": 0, "y": 0})
+    t1, t2 = b.begin("t1"), b.begin("t2")
+    b.access(t1, "wx", "x", WriteOp(1), OK)
+    b.access(t2, "wx", "x", WriteOp(2), OK)
+    b.access(t2, "wy", "y", WriteOp(2), OK)
+    b.access(t1, "wy", "y", WriteOp(1), OK)
+    b.commit(t1)
+    b.commit(t2)
+    return b.done()
+
+
+def _mvto_stale_read() -> Tuple[Behavior, SystemType]:
+    # timestamp order is t0 < t1, but t1's write happens (and commits)
+    # before t0's read — multiversion behavior, correct in ts order
+    b = _Builder({"x": 0})
+    t0, t1 = b.begin("t0"), b.begin("t1")
+    b.access(t1, "w", "x", WriteOp(9), OK)
+    b.commit(t1)
+    b.access(t0, "r", "x", ReadOp(), 0)
+    b.commit(t0)
+    return b.done()
+
+
+SCENARIOS: Dict[str, Tuple[Callable[[], Tuple[Behavior, SystemType]], Expectation]] = {
+    "serial": (
+        _serial,
+        Expectation(True, True, "a serial execution certifies trivially"),
+    ),
+    "lost-update": (
+        _lost_update,
+        Expectation(False, False, "racing read-modify-writes form an SG cycle"),
+    ),
+    "dirty-read": (
+        _dirty_read,
+        Expectation(
+            False, False, "a committed reader saw an aborted writer's value (ARV)"
+        ),
+    ),
+    "write-skew": (
+        _write_skew,
+        Expectation(False, False, "crossed read/write pairs form an SG cycle"),
+    ),
+    "blind-writes": (
+        _blind_writes,
+        Expectation(
+            True,
+            False,
+            "serially correct, yet the SG is cyclic — Theorem 8 is only sufficient",
+        ),
+    ),
+    "mvto-stale-read": (
+        _mvto_stale_read,
+        Expectation(
+            True,
+            False,
+            "correct in timestamp order, rejected by the single-version test",
+        ),
+    ),
+}
+
+
+def scenario_names() -> List[str]:
+    """The names of all canonical scenarios, in presentation order."""
+    return list(SCENARIOS)
+
+
+def build_scenario(name: str) -> Tuple[Behavior, SystemType, Expectation]:
+    """Build a named scenario; raises ``KeyError`` for unknown names."""
+    try:
+        factory, expectation = SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; available: {', '.join(SCENARIOS)}"
+        ) from None
+    behavior, system_type = factory()
+    return behavior, system_type, expectation

@@ -1,0 +1,93 @@
+"""The read/write serial object automaton ``S_X`` (Section 3.1).
+
+State: ``active`` (the access currently being served, or None) and
+``data`` (the most recently written value).  A read's REQUEST_COMMIT
+returns exactly ``data``; a write's REQUEST_COMMIT returns ``OK`` and
+overwrites ``data``.  This automaton *is* the serial specification of a
+read/write object: Lemmas 3 and 4 of the paper characterise its
+behaviors via ``final-value``, and the tests check that characterisation
+against this executable definition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Iterator, Optional
+
+from ..automata.base import IOAutomaton
+from ..core.actions import Action, Create, RequestCommit
+from ..core.names import ObjectName, SystemType, TransactionName
+from ..core.rw_semantics import OK, ReadOp, WriteOp
+
+__all__ = ["RWObjectState", "SerialRWObject"]
+
+
+@dataclass(frozen=True)
+class RWObjectState:
+    """The state of ``S_X``: the active access (if any) and the datum."""
+
+    active: Optional[TransactionName]
+    data: Any
+
+
+class SerialRWObject(IOAutomaton):
+    """``S_X`` for a read/write object named ``obj`` with the given initial value."""
+
+    def __init__(self, obj: ObjectName, system_type: SystemType) -> None:
+        self.obj = obj
+        self.system_type = system_type
+        self.initial = system_type.spec(obj).initial
+        self.name = f"S_{obj}"
+
+    # -- signature ---------------------------------------------------------
+
+    def _is_my_access(self, transaction: TransactionName) -> bool:
+        return (
+            self.system_type.is_access(transaction)
+            and self.system_type.object_of(transaction) == self.obj
+        )
+
+    def is_input(self, action: Action) -> bool:
+        return isinstance(action, Create) and self._is_my_access(action.transaction)
+
+    def is_output(self, action: Action) -> bool:
+        return isinstance(action, RequestCommit) and self._is_my_access(
+            action.transaction
+        )
+
+    # -- transitions ----------------------------------------------------------
+
+    def initial_state(self) -> RWObjectState:
+        return RWObjectState(active=None, data=self.initial)
+
+    def enabled(self, state: RWObjectState, action: Action) -> bool:
+        if self.is_input(action):
+            return True
+        if isinstance(action, RequestCommit):
+            if state.active != action.transaction:
+                return False
+            op = self.system_type.access(action.transaction).op
+            if isinstance(op, WriteOp):
+                return action.value == OK
+            if isinstance(op, ReadOp):
+                return action.value == state.data
+        return False
+
+    def effect(self, state: RWObjectState, action: Action) -> RWObjectState:
+        if isinstance(action, Create):
+            return replace(state, active=action.transaction)
+        if isinstance(action, RequestCommit):
+            op = self.system_type.access(action.transaction).op
+            if isinstance(op, WriteOp):
+                return RWObjectState(active=None, data=op.data)
+            return replace(state, active=None)
+        raise ValueError(f"{self.name}: {action} not in signature")
+
+    def enabled_outputs(self, state: RWObjectState) -> Iterator[Action]:
+        if state.active is None:
+            return
+        op = self.system_type.access(state.active).op
+        if isinstance(op, WriteOp):
+            yield RequestCommit(state.active, OK)
+        elif isinstance(op, ReadOp):
+            yield RequestCommit(state.active, state.data)

@@ -1,0 +1,84 @@
+"""The serial object automaton for an arbitrary data type (Section 6).
+
+The typed analogue of :class:`repro.serial.rw_object.SerialRWObject`:
+state is the pair (active access, abstract data-type state); a
+REQUEST_COMMIT is enabled exactly when its value is the one the data
+type dictates in the current state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Iterator, Optional
+
+from ..automata.base import IOAutomaton
+from ..core.actions import Action, Create, RequestCommit
+from ..core.names import ObjectName, SystemType, TransactionName
+from ..spec.datatype import DataType
+
+__all__ = ["TypedObjectState", "SerialTypedObject"]
+
+
+@dataclass(frozen=True)
+class TypedObjectState:
+    """Active access (if any) and the data type's abstract state."""
+
+    active: Optional[TransactionName]
+    data: Any
+
+
+class SerialTypedObject(IOAutomaton):
+    """``S_X`` for an object whose serial spec is a :class:`DataType`."""
+
+    def __init__(self, obj: ObjectName, system_type: SystemType) -> None:
+        self.obj = obj
+        self.system_type = system_type
+        spec = system_type.spec(obj)
+        if not isinstance(spec, DataType):
+            raise TypeError(f"object {obj} is not specified by a DataType")
+        self.datatype: DataType = spec
+        self.name = f"S_{obj}"
+
+    def _is_my_access(self, transaction: TransactionName) -> bool:
+        return (
+            self.system_type.is_access(transaction)
+            and self.system_type.object_of(transaction) == self.obj
+        )
+
+    def is_input(self, action: Action) -> bool:
+        return isinstance(action, Create) and self._is_my_access(action.transaction)
+
+    def is_output(self, action: Action) -> bool:
+        return isinstance(action, RequestCommit) and self._is_my_access(
+            action.transaction
+        )
+
+    def initial_state(self) -> TypedObjectState:
+        return TypedObjectState(active=None, data=self.datatype.initial)
+
+    def enabled(self, state: TypedObjectState, action: Action) -> bool:
+        if self.is_input(action):
+            return True
+        if isinstance(action, RequestCommit):
+            if state.active != action.transaction:
+                return False
+            op = self.system_type.access(action.transaction).op
+            _, expected = self.datatype.apply(state.data, op)
+            return action.value == expected
+        return False
+
+    def effect(self, state: TypedObjectState, action: Action) -> TypedObjectState:
+        if isinstance(action, Create):
+            return replace(state, active=action.transaction)
+        if isinstance(action, RequestCommit):
+            op = self.system_type.access(action.transaction).op
+            new_data, _ = self.datatype.apply(state.data, op)
+            return TypedObjectState(active=None, data=new_data)
+        raise ValueError(f"{self.name}: {action} not in signature")
+
+    def enabled_outputs(self, state: TypedObjectState) -> Iterator[Action]:
+        if state.active is None:
+            return
+        op = self.system_type.access(state.active).op
+        _, value = self.datatype.apply(state.data, op)
+        yield RequestCommit(state.active, value)

@@ -1,0 +1,158 @@
+"""The simulation driver: runs a composed system to a finite behavior.
+
+The paper's theorems quantify over *all* finite behaviors of a generic
+system; the driver produces such behaviors by repeatedly asking the
+composition for its enabled locally-controlled actions and letting a
+:class:`repro.sim.policies.SchedulingPolicy` choose among them.  Seeded
+policies make every run reproducible; the
+:class:`repro.sim.faults.AbortInjector` wrapper adds failures.
+
+Every run ends either quiescent (nothing enabled — including genuine
+Moss-locking deadlocks, whose behaviors are still finite behaviors the
+theorems cover) or at the step limit.  The returned :class:`RunResult`
+carries the behavior, ready for the Theorem 8/19 certifier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..automata.composition import Composition
+from ..core.actions import (
+    Abort,
+    Action,
+    Behavior,
+    Commit,
+    RequestCommit,
+)
+from ..core.names import SystemType, TransactionName
+from ..generic.controller import GenericController
+from ..generic.objects import GenericObject
+from .policies import SchedulingPolicy
+from .stats import RunStats
+
+__all__ = ["RunResult", "run_system"]
+
+
+@dataclass
+class RunResult:
+    """The outcome of one simulated run."""
+
+    behavior: Behavior
+    stats: RunStats
+    final_state: dict
+
+
+def run_system(
+    system: Composition,
+    policy: SchedulingPolicy,
+    system_type: SystemType,
+    max_steps: int = 10_000,
+    collect_blocking: bool = False,
+    resolve_deadlocks: bool = False,
+) -> RunResult:
+    """Run ``system`` under ``policy`` until quiescence or ``max_steps``.
+
+    With ``collect_blocking``, each step also counts accesses that are
+    invoked but not currently serviceable (concurrency denied by the
+    object algorithms) — the E7 metric.
+
+    With ``resolve_deadlocks``, a stuck state (nothing enabled but some
+    access invoked and blocked — a genuine locking deadlock) is broken
+    the way deployed systems do: the top-level ancestor of the least
+    blocked access is aborted, releasing its subtree's locks.  Victim
+    aborts are counted in ``stats.deadlock_aborts``.
+    """
+    state = system.initial_state()
+    trace: List[Action] = []
+    stats = RunStats()
+    controller = next(
+        component
+        for component in system.components
+        if isinstance(component, GenericController)
+    )
+    objects = [
+        component
+        for component in system.components
+        if isinstance(component, GenericObject)
+    ]
+
+    def pick_deadlock_victim() -> Optional[Abort]:
+        blocked = sorted(
+            access
+            for generic_object in objects
+            for access in generic_object.blocked_accesses(
+                state[generic_object.name]
+            )
+        )
+        for access in blocked:
+            top = TransactionName(access.path[:1])
+            abort = Abort(top)
+            if controller.enabled(state[controller.name], abort):
+                return abort
+        return None
+
+    # Per-component caches of enabled outputs: a component's enabledness
+    # depends only on its own state, which changes only when an action in
+    # its signature is applied — so after each step only the components
+    # sharing that action need re-querying.  Enumeration order (component
+    # order, then each component's own order) is preserved exactly, so
+    # seeded runs are identical to the uncached driver.
+    output_cache = {
+        component.name: list(component.enabled_outputs(state[component.name]))
+        for component in system.components
+    }
+
+    while stats.steps < max_steps:
+        enabled: List[Action] = []
+        seen = set()
+        for component in system.components:
+            for action in output_cache[component.name]:
+                if action not in seen:
+                    seen.add(action)
+                    enabled.append(action)
+        offer = getattr(policy, "offer_aborts", None)
+        if offer is not None:
+            aborts = [
+                abort
+                for abort in controller.enabled_aborts(state[controller.name])
+                if abort not in seen
+            ]
+            offer(aborts)
+        choice = policy.choose(enabled)
+        if choice is None:
+            if resolve_deadlocks and not enabled:
+                victim = pick_deadlock_victim()
+                if victim is not None:
+                    choice = victim
+                    stats.deadlock_aborts += 1
+            if choice is None:
+                stats.quiescent = not enabled
+                break
+        state = system.effect(state, choice)
+        for component in system.components:
+            if component.is_action(choice):
+                output_cache[component.name] = list(
+                    component.enabled_outputs(state[component.name])
+                )
+        trace.append(choice)
+        policy.observe(choice)
+        stats.steps += 1
+        stats.count(type(choice).__name__)
+        if isinstance(choice, Commit):
+            stats.committed += 1
+            if choice.transaction.depth == 1:
+                stats.top_level_committed += 1
+        elif isinstance(choice, Abort):
+            stats.aborted += 1
+        elif isinstance(choice, RequestCommit) and system_type.is_access(
+            choice.transaction
+        ):
+            stats.accesses_answered += 1
+        if collect_blocking:
+            for generic_object in objects:
+                stats.blocked_access_steps += sum(
+                    1 for _ in generic_object.blocked_accesses(state[generic_object.name])
+                )
+    return RunResult(tuple(trace), stats, state)

@@ -1,0 +1,57 @@
+"""Fault injection: abort storms for the recovery experiments (E8).
+
+The generic controller may abort any requested, uncompleted transaction
+at any time.  :class:`AbortInjector` wraps a base scheduling policy and,
+with a configured probability per step, injects one of the currently
+enabled ABORT actions instead of the base policy's choice.  Victims can
+be filtered (e.g. only subtransactions, never top-level ones).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional, Sequence
+
+from ..core.actions import Abort, Action
+from ..core.names import TransactionName
+from .policies import SchedulingPolicy
+
+__all__ = ["AbortInjector"]
+
+
+class AbortInjector(SchedulingPolicy):
+    """Inject ABORTs with probability ``abort_rate`` per scheduling step."""
+
+    def __init__(
+        self,
+        base: SchedulingPolicy,
+        abort_rate: float,
+        seed: int = 0,
+        victim_filter: Optional[Callable[[TransactionName], bool]] = None,
+        max_aborts: Optional[int] = None,
+    ) -> None:
+        if not 0.0 <= abort_rate <= 1.0:
+            raise ValueError("abort_rate must be a probability")
+        self.base = base
+        self.abort_rate = abort_rate
+        self.rng = random.Random(seed)
+        self.victim_filter = victim_filter
+        self.max_aborts = max_aborts
+        self.aborts_injected = 0
+        self._pending_aborts: Sequence[Abort] = ()
+
+    def offer_aborts(self, aborts: Sequence[Abort]) -> None:
+        """Called by the driver with the currently enabled abort actions."""
+        self._pending_aborts = aborts
+
+    def choose(self, enabled: Sequence[Action]) -> Optional[Action]:
+        candidates = [
+            abort
+            for abort in self._pending_aborts
+            if self.victim_filter is None or self.victim_filter(abort.transaction)
+        ]
+        budget_left = self.max_aborts is None or self.aborts_injected < self.max_aborts
+        if candidates and budget_left and self.rng.random() < self.abort_rate:
+            self.aborts_injected += 1
+            return self.rng.choice(candidates)
+        return self.base.choose(enabled)

@@ -1,0 +1,368 @@
+"""Transaction programs: the code run by non-access transaction automata.
+
+The paper treats transactions as black-box I/O automata constrained only
+by well-formedness.  For simulation we need concrete transactions, so
+this module provides a small declarative DSL: a
+:class:`TransactionProgram` lists *calls* — accesses to objects or
+nested subtransactions — executed either sequentially (each call is
+requested only after the previous one reported, which gives rise to the
+paper's ``precedes`` edges) or in parallel (all requested up front,
+modelling the "several simultaneous remote procedure calls" of the
+introduction).
+
+:class:`ProgramTransaction` interprets a program as a transaction
+automaton preserving transaction well-formedness; :func:`system_type_for`
+derives the system-type fragment (the access registry) that a set of
+top-level programs induces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, FrozenSet, Iterator, Mapping, Optional, Tuple, Union
+
+from ..automata.base import IOAutomaton
+from ..core.actions import (
+    Action,
+    Create,
+    ReportAbort,
+    ReportCommit,
+    RequestCommit,
+    RequestCreate,
+)
+from ..core.names import Access, ObjectName, SystemType, TransactionName
+from ..core.rw_semantics import ReadOp, WriteOp
+
+__all__ = [
+    "AccessCall",
+    "SubtransactionCall",
+    "TransactionProgram",
+    "ProgramTransaction",
+    "ProgramState",
+    "system_type_for",
+    "collect_programs",
+    "read",
+    "write",
+    "op",
+    "sub",
+    "seq",
+    "par",
+]
+
+
+@dataclass(frozen=True)
+class AccessCall:
+    """A call that invokes an access (leaf) on ``obj`` with operation ``op``.
+
+    With ``after_abort_of`` set, the call is an *alternative*: it is
+    issued only if the named earlier call aborts — the "retry a failed
+    subtransaction" pattern the paper's introduction motivates.
+    """
+
+    component: str
+    obj: ObjectName
+    op: Any
+    after_abort_of: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class SubtransactionCall:
+    """A call that invokes a nested subtransaction running ``program``.
+
+    ``after_abort_of`` marks the call as an alternative (see
+    :class:`AccessCall`).
+    """
+
+    component: str
+    program: "TransactionProgram"
+    after_abort_of: Optional[str] = None
+
+
+Call = Union[AccessCall, SubtransactionCall]
+
+
+@dataclass(frozen=True)
+class TransactionProgram:
+    """A transaction body: an ordered tuple of calls plus a return value.
+
+    ``sequential`` controls whether each call waits for the previous
+    call's report.  ``result`` is either a hashable constant, or a
+    callable mapping the dict ``{component: outcome}`` (outcome is
+    ``("commit", value)`` or ``("abort",)``) to a hashable value.
+    """
+
+    calls: Tuple[Call, ...] = ()
+    sequential: bool = True
+    result: Any = "ok"
+
+    def __post_init__(self) -> None:
+        components = [call.component for call in self.calls]
+        if len(set(components)) != len(components):
+            raise ValueError(f"duplicate call components: {components}")
+        seen = set()
+        for call in self.calls:
+            if call.after_abort_of is not None:
+                if call.after_abort_of not in seen:
+                    raise ValueError(
+                        f"alternative {call.component!r} must follow its "
+                        f"trigger {call.after_abort_of!r}"
+                    )
+            seen.add(call.component)
+
+    def call(self, component: str) -> Call:
+        for candidate in self.calls:
+            if candidate.component == component:
+                return candidate
+        raise KeyError(component)
+
+    def result_value(self, outcomes: Mapping[str, Tuple[Any, ...]]) -> Any:
+        if callable(self.result):
+            return self.result(dict(outcomes))
+        return self.result
+
+
+# -- DSL helpers -------------------------------------------------------------
+
+
+def read(obj: ObjectName, component: Optional[str] = None) -> AccessCall:
+    """An access call reading ``obj``."""
+    return AccessCall(component or f"read_{obj.name}", obj, ReadOp())
+
+
+def write(obj: ObjectName, data: Any, component: Optional[str] = None) -> AccessCall:
+    """An access call writing ``data`` to ``obj``."""
+    return AccessCall(component or f"write_{obj.name}", obj, WriteOp(data))
+
+
+def op(obj: ObjectName, operation: Any, component: Optional[str] = None) -> AccessCall:
+    """An access call performing an arbitrary typed operation on ``obj``."""
+    return AccessCall(component or f"op_{obj.name}", obj, operation)
+
+
+def sub(program: TransactionProgram, component: str) -> SubtransactionCall:
+    """A nested subtransaction call."""
+    return SubtransactionCall(component, program)
+
+
+def _number_components(calls: Tuple[Call, ...]) -> Tuple[Call, ...]:
+    seen: Dict[str, int] = {}
+    renamed = []
+    for call in calls:
+        count = seen.get(call.component, 0)
+        seen[call.component] = count + 1
+        if count:
+            renamed.append(replace(call, component=f"{call.component}_{count}"))
+        else:
+            renamed.append(call)
+    return tuple(renamed)
+
+
+def seq(*calls: Call, result: Any = "ok") -> TransactionProgram:
+    """A sequential program; duplicate component names are suffixed."""
+    return TransactionProgram(_number_components(tuple(calls)), True, result)
+
+
+def par(*calls: Call, result: Any = "ok") -> TransactionProgram:
+    """A parallel program; duplicate component names are suffixed."""
+    return TransactionProgram(_number_components(tuple(calls)), False, result)
+
+
+# -- system type derivation -------------------------------------------------
+
+
+def _register_accesses(
+    system_type: SystemType, name: TransactionName, program: TransactionProgram
+) -> None:
+    for call in program.calls:
+        child = name.child(call.component)
+        if isinstance(call, AccessCall):
+            system_type.register_access(child, Access(call.obj, call.op))
+        else:
+            _register_accesses(system_type, child, call.program)
+
+
+def system_type_for(
+    objects: Mapping[ObjectName, Any],
+    programs: Mapping[TransactionName, TransactionProgram],
+) -> SystemType:
+    """Build the system type induced by top-level programs over ``objects``."""
+    system_type = SystemType(objects)
+    for name, program in programs.items():
+        _register_accesses(system_type, name, program)
+    return system_type
+
+
+def collect_programs(
+    programs: Mapping[TransactionName, TransactionProgram]
+) -> Dict[TransactionName, TransactionProgram]:
+    """Flatten nested programs into ``{transaction name: program}``.
+
+    The result has an entry for every *non-access* transaction below the
+    given top-level names; the driver builds one
+    :class:`ProgramTransaction` per entry.
+    """
+    flat: Dict[TransactionName, TransactionProgram] = {}
+
+    def walk(name: TransactionName, program: TransactionProgram) -> None:
+        flat[name] = program
+        for call in program.calls:
+            if isinstance(call, SubtransactionCall):
+                walk(name.child(call.component), call.program)
+
+    for name, program in programs.items():
+        walk(name, program)
+    return flat
+
+
+# -- the transaction automaton ------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ProgramState:
+    """State of a program transaction: progress through its calls."""
+
+    created: bool = False
+    requested: FrozenSet[str] = frozenset()
+    outcomes: Tuple[Tuple[str, Tuple[Any, ...]], ...] = ()
+    commit_requested: bool = False
+
+    def outcome_map(self) -> Dict[str, Tuple[Any, ...]]:
+        return dict(self.outcomes)
+
+
+class ProgramTransaction(IOAutomaton):
+    """The transaction automaton ``A_T`` interpreting a program.
+
+    Root transactions (``T0``) are modelled with ``created=True`` from
+    the start and never request commit; every other transaction follows
+    transaction well-formedness: it acts only after ``CREATE``, requests
+    each child at most once (respecting sequencing), and requests commit
+    only after all its calls have reported.
+    """
+
+    def __init__(self, name: TransactionName, program: TransactionProgram) -> None:
+        self.transaction = name
+        self.program = program
+        self.name = f"A_{name}"
+
+    # -- signature ---------------------------------------------------------
+
+    def _is_my_child(self, other: TransactionName) -> bool:
+        return (
+            not other.is_root
+            and other.parent == self.transaction
+            and any(call.component == other.path[-1] for call in self.program.calls)
+        )
+
+    def is_input(self, action: Action) -> bool:
+        if isinstance(action, Create):
+            return action.transaction == self.transaction
+        if isinstance(action, (ReportCommit, ReportAbort)):
+            return self._is_my_child(action.transaction)
+        return False
+
+    def is_output(self, action: Action) -> bool:
+        if isinstance(action, RequestCreate):
+            return self._is_my_child(action.transaction)
+        if isinstance(action, RequestCommit):
+            return action.transaction == self.transaction
+        return False
+
+    # -- transitions ----------------------------------------------------------
+
+    def initial_state(self) -> ProgramState:
+        return ProgramState(created=self.transaction.is_root)
+
+    @staticmethod
+    def _activation(call: Call, outcomes: Dict[str, Tuple[Any, ...]]) -> str:
+        """An alternative call's status: 'active', 'inactive' or 'unresolved'.
+
+        Non-alternative calls are always active.  An alternative is
+        active once its trigger aborted, inactive once the trigger
+        committed, and unresolved while the trigger has no outcome.
+        """
+        if call.after_abort_of is None:
+            return "active"
+        trigger = outcomes.get(call.after_abort_of)
+        if trigger is None:
+            return "unresolved"
+        return "active" if trigger[0] == "abort" else "inactive"
+
+    def _may_request(self, state: ProgramState, component: str) -> bool:
+        if not state.created or state.commit_requested:
+            return False
+        if component in state.requested:
+            return False
+        outcomes = state.outcome_map()
+        for call in self.program.calls:
+            status = self._activation(call, outcomes)
+            if call.component == component:
+                return status == "active"
+            if not self.program.sequential:
+                continue
+            # sequential: every earlier call must be resolved — an
+            # outcome for active calls, a committed trigger for
+            # inactive alternatives; unresolved alternatives block
+            if status == "unresolved":
+                return False
+            if status == "active" and call.component not in outcomes:
+                return False
+        return False
+
+    def _ready_to_commit(self, state: ProgramState) -> bool:
+        if not state.created or state.commit_requested or self.transaction.is_root:
+            return False
+        outcomes = state.outcome_map()
+        for call in self.program.calls:
+            status = self._activation(call, outcomes)
+            if status == "unresolved":
+                return False
+            if status == "active" and call.component not in outcomes:
+                return False
+        return True
+
+    def enabled(self, state: ProgramState, action: Action) -> bool:
+        if self.is_input(action):
+            return True
+        if isinstance(action, RequestCreate):
+            return self._may_request(state, action.transaction.path[-1])
+        if isinstance(action, RequestCommit):
+            return (
+                self._ready_to_commit(state)
+                and action.value == self.program.result_value(state.outcome_map())
+            )
+        return False
+
+    def effect(self, state: ProgramState, action: Action) -> ProgramState:
+        if isinstance(action, Create):
+            return replace(state, created=True)
+        if isinstance(action, ReportCommit):
+            component = action.transaction.path[-1]
+            if component in state.outcome_map():
+                return state
+            return replace(
+                state,
+                outcomes=state.outcomes + ((component, ("commit", action.value)),),
+            )
+        if isinstance(action, ReportAbort):
+            component = action.transaction.path[-1]
+            if component in state.outcome_map():
+                return state
+            return replace(
+                state, outcomes=state.outcomes + ((component, ("abort",)),)
+            )
+        if isinstance(action, RequestCreate):
+            component = action.transaction.path[-1]
+            return replace(state, requested=state.requested | {component})
+        if isinstance(action, RequestCommit):
+            return replace(state, commit_requested=True)
+        raise ValueError(f"{self.name}: {action} not in signature")
+
+    def enabled_outputs(self, state: ProgramState) -> Iterator[Action]:
+        for call in self.program.calls:
+            if self._may_request(state, call.component):
+                yield RequestCreate(self.transaction.child(call.component))
+        if self._ready_to_commit(state):
+            yield RequestCommit(
+                self.transaction, self.program.result_value(state.outcome_map())
+            )

@@ -1,0 +1,36 @@
+"""Run statistics collected by the simulation driver."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = ["RunStats"]
+
+
+@dataclass
+class RunStats:
+    """Counters describing one simulated run of a generic system."""
+
+    steps: int = 0
+    action_counts: Dict[str, int] = field(default_factory=dict)
+    committed: int = 0
+    aborted: int = 0
+    top_level_committed: int = 0
+    accesses_answered: int = 0
+    blocked_access_steps: int = 0
+    deadlock_aborts: int = 0
+    quiescent: bool = False
+
+    def count(self, kind: str) -> None:
+        self.action_counts[kind] = self.action_counts.get(kind, 0) + 1
+
+    def summary(self) -> str:
+        return (
+            f"steps={self.steps} committed={self.committed} aborted={self.aborted} "
+            f"top_level_committed={self.top_level_committed} "
+            f"accesses={self.accesses_answered} "
+            f"blocked_access_steps={self.blocked_access_steps} "
+            f"deadlock_aborts={self.deadlock_aborts} "
+            f"quiescent={self.quiescent}"
+        )

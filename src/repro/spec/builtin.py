@@ -1,0 +1,462 @@
+"""Built-in data types with exact backward-commutativity predicates.
+
+Each type supplies operation descriptors, a deterministic ``apply`` and
+an exact ``commutes_backward`` table derived by hand from the paper's
+definition (Section 6.1).  The test suite validates every table against
+the definitional bounded check in :mod:`repro.spec.commutativity`, so
+these are verified conflict relations, not assumptions.
+
+Types provided:
+
+* :class:`RegisterType` — a read/write register whose *exact* conflict
+  relation is slightly finer than the classical rule (writes of equal
+  values commute backward; everything else involving a write conflicts).
+  Contrasting it with :class:`repro.core.rw_semantics.RWSpec` is part of
+  the E7 ablation.
+* :class:`CounterType` — increments/decrements commute; reads conflict
+  with non-zero updates.
+* :class:`SetType` — inserts always commute; operations on distinct
+  elements commute.
+* :class:`BankAccountType` — Weihl's classic example: *successful*
+  withdrawals commute with each other, failed withdrawals are invisible
+  to reads.
+* :class:`QueueType` — a FIFO queue; mostly non-commutative, included to
+  exercise the conservative end of the spectrum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Tuple
+
+from .datatype import DataType
+
+__all__ = [
+    "MapType",
+    "MapGet",
+    "MapPut",
+    "MapRemove",
+    "MISSING",
+    "RegisterType",
+    "RegRead",
+    "RegWrite",
+    "CounterType",
+    "CounterInc",
+    "CounterRead",
+    "SetType",
+    "SetInsert",
+    "SetRemove",
+    "SetMember",
+    "BankAccountType",
+    "Deposit",
+    "Withdraw",
+    "BalanceRead",
+    "QueueType",
+    "Enqueue",
+    "Dequeue",
+    "EMPTY",
+    "OK",
+]
+
+#: Fixed return value of update operations that cannot fail.
+OK = "OK"
+
+#: Return value of dequeue on an empty queue.
+EMPTY = "EMPTY"
+
+
+# ---------------------------------------------------------------------------
+# Register
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RegRead:
+    def __str__(self) -> str:
+        return "reg-read"
+
+
+@dataclass(frozen=True)
+class RegWrite:
+    data: Any
+
+    def __str__(self) -> str:
+        return f"reg-write({self.data!r})"
+
+
+class RegisterType(DataType):
+    """A read/write register with the *exact* commutativity relation."""
+
+    type_name = "register"
+
+    def __init__(self, initial: Any = None) -> None:
+        self._initial = initial
+
+    @property
+    def initial(self) -> Any:
+        return self._initial
+
+    def apply(self, state: Any, op: Any) -> Tuple[Any, Any]:
+        if isinstance(op, RegWrite):
+            return op.data, OK
+        if isinstance(op, RegRead):
+            return state, state
+        raise TypeError(f"not a register operation: {op!r}")
+
+    def is_read_only(self, op: Any) -> bool:
+        return isinstance(op, RegRead)
+
+    def commutes_backward(self, op1: Any, value1: Any, op2: Any, value2: Any) -> bool:
+        if isinstance(op1, RegRead) and isinstance(op2, RegRead):
+            return True
+        if isinstance(op1, RegWrite) and isinstance(op2, RegWrite):
+            # Writing the same value in either order is indistinguishable.
+            return op1.data == op2.data
+        # Read/write pairs always conflict: write-then-read(d) is legal from
+        # *any* prior state, but the swapped read is legal only when the
+        # state already was d — so the definition's swap implication fails.
+        return False
+
+
+# ---------------------------------------------------------------------------
+# Counter
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CounterInc:
+    """Add ``amount`` (negative amounts decrement)."""
+
+    amount: int
+
+    def __str__(self) -> str:
+        return f"inc({self.amount})"
+
+
+@dataclass(frozen=True)
+class CounterRead:
+    def __str__(self) -> str:
+        return "counter-read"
+
+
+class CounterType(DataType):
+    """An integer counter: updates commute, reads see the exact total."""
+
+    type_name = "counter"
+
+    def __init__(self, initial: int = 0) -> None:
+        self._initial = int(initial)
+
+    @property
+    def initial(self) -> int:
+        return self._initial
+
+    def apply(self, state: int, op: Any) -> Tuple[int, Any]:
+        if isinstance(op, CounterInc):
+            return state + op.amount, OK
+        if isinstance(op, CounterRead):
+            return state, state
+        raise TypeError(f"not a counter operation: {op!r}")
+
+    def is_read_only(self, op: Any) -> bool:
+        return isinstance(op, CounterRead)
+
+    def commutes_backward(self, op1: Any, value1: Any, op2: Any, value2: Any) -> bool:
+        if isinstance(op1, CounterInc) and isinstance(op2, CounterInc):
+            return True
+        if isinstance(op1, CounterRead) and isinstance(op2, CounterRead):
+            return True
+        update = op1 if isinstance(op1, CounterInc) else op2
+        return update.amount == 0
+
+
+# ---------------------------------------------------------------------------
+# Set
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SetInsert:
+    element: Any
+
+    def __str__(self) -> str:
+        return f"insert({self.element!r})"
+
+
+@dataclass(frozen=True)
+class SetRemove:
+    element: Any
+
+    def __str__(self) -> str:
+        return f"remove({self.element!r})"
+
+
+@dataclass(frozen=True)
+class SetMember:
+    element: Any
+
+    def __str__(self) -> str:
+        return f"member({self.element!r})"
+
+
+class SetType(DataType):
+    """A mathematical set; states are frozensets."""
+
+    type_name = "set"
+
+    def __init__(self, initial: frozenset = frozenset()) -> None:
+        self._initial = frozenset(initial)
+
+    @property
+    def initial(self) -> frozenset:
+        return self._initial
+
+    def apply(self, state: frozenset, op: Any) -> Tuple[frozenset, Any]:
+        if isinstance(op, SetInsert):
+            return state | {op.element}, OK
+        if isinstance(op, SetRemove):
+            return state - {op.element}, OK
+        if isinstance(op, SetMember):
+            return state, op.element in state
+        raise TypeError(f"not a set operation: {op!r}")
+
+    def is_read_only(self, op: Any) -> bool:
+        return isinstance(op, SetMember)
+
+    def commutes_backward(self, op1: Any, value1: Any, op2: Any, value2: Any) -> bool:
+        if isinstance(op1, SetMember) and isinstance(op2, SetMember):
+            return True
+        if isinstance(op1, SetInsert) and isinstance(op2, SetInsert):
+            return True
+        if isinstance(op1, SetRemove) and isinstance(op2, SetRemove):
+            return True
+        return op1.element != op2.element
+
+
+# ---------------------------------------------------------------------------
+# Bank account
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Deposit:
+    amount: int
+
+    def __post_init__(self) -> None:
+        if self.amount < 0:
+            raise ValueError("deposits are non-negative")
+
+    def __str__(self) -> str:
+        return f"deposit({self.amount})"
+
+
+@dataclass(frozen=True)
+class Withdraw:
+    amount: int
+
+    def __post_init__(self) -> None:
+        if self.amount < 0:
+            raise ValueError("withdrawals are non-negative")
+
+    def __str__(self) -> str:
+        return f"withdraw({self.amount})"
+
+
+@dataclass(frozen=True)
+class BalanceRead:
+    def __str__(self) -> str:
+        return "balance"
+
+
+class BankAccountType(DataType):
+    """A bank account whose withdrawals fail (return ``FAIL``) on overdraft.
+
+    The generalisation of Weihl's motivating example: two *successful*
+    withdrawals commute backward, so an undo-logging object admits them
+    concurrently even though a read/write implementation would not.
+    """
+
+    type_name = "bank-account"
+    FAIL = "FAIL"
+
+    def __init__(self, initial: int = 0) -> None:
+        if initial < 0:
+            raise ValueError("initial balance is non-negative")
+        self._initial = int(initial)
+
+    @property
+    def initial(self) -> int:
+        return self._initial
+
+    def apply(self, state: int, op: Any) -> Tuple[int, Any]:
+        if isinstance(op, Deposit):
+            return state + op.amount, OK
+        if isinstance(op, Withdraw):
+            if state >= op.amount:
+                return state - op.amount, OK
+            return state, self.FAIL
+        if isinstance(op, BalanceRead):
+            return state, state
+        raise TypeError(f"not a bank-account operation: {op!r}")
+
+    def is_read_only(self, op: Any) -> bool:
+        return isinstance(op, BalanceRead)
+
+    def commutes_backward(self, op1: Any, value1: Any, op2: Any, value2: Any) -> bool:
+        # Normalise: classify each side.
+        def kind(op: Any, value: Any) -> str:
+            if isinstance(op, Deposit):
+                return "noop" if op.amount == 0 else "dep"
+            if isinstance(op, Withdraw):
+                if op.amount == 0:
+                    return "noop"
+                return "wok" if value == OK else "wfail"
+            if isinstance(op, BalanceRead):
+                return "read"
+            raise TypeError(f"not a bank-account operation: {op!r}")
+
+        k1, k2 = kind(op1, value1), kind(op2, value2)
+        if "noop" in (k1, k2):
+            return True
+        if k1 == "read" and k2 == "read":
+            return True
+        if {k1, k2} == {"read", "wfail"} or k1 == k2 == "wfail":
+            return True  # failed withdrawals change nothing observable
+        if k1 == k2 == "dep":
+            return True
+        if k1 == k2 == "wok":
+            return True  # both succeeded: order is immaterial
+        # dep/wok, dep/wfail, wok/wfail, read/dep, read/wok all conflict.
+        return False
+
+
+# ---------------------------------------------------------------------------
+# FIFO queue
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Enqueue:
+    element: Any
+
+    def __str__(self) -> str:
+        return f"enq({self.element!r})"
+
+
+@dataclass(frozen=True)
+class Dequeue:
+    def __str__(self) -> str:
+        return "deq"
+
+
+class QueueType(DataType):
+    """A FIFO queue; states are tuples, dequeue of empty returns ``EMPTY``."""
+
+    type_name = "queue"
+
+    def __init__(self, initial: Tuple[Any, ...] = ()) -> None:
+        self._initial = tuple(initial)
+
+    @property
+    def initial(self) -> Tuple[Any, ...]:
+        return self._initial
+
+    def apply(self, state: Tuple[Any, ...], op: Any) -> Tuple[Tuple[Any, ...], Any]:
+        if isinstance(op, Enqueue):
+            return state + (op.element,), OK
+        if isinstance(op, Dequeue):
+            if not state:
+                return state, EMPTY
+            return state[1:], state[0]
+        raise TypeError(f"not a queue operation: {op!r}")
+
+    def commutes_backward(self, op1: Any, value1: Any, op2: Any, value2: Any) -> bool:
+        if isinstance(op1, Enqueue) and isinstance(op2, Enqueue):
+            return op1.element == op2.element
+        if isinstance(op1, Dequeue) and isinstance(op2, Dequeue):
+            return value1 == value2
+        enq, deq_value = (
+            (op1, value2) if isinstance(op1, Enqueue) else (op2, value1)
+        )
+        # An enqueue commutes with a dequeue that returned a *different*
+        # element: the dequeue drained an older element either way.
+        return deq_value != EMPTY and deq_value != enq.element
+
+
+# ---------------------------------------------------------------------------
+# Key/value map
+# ---------------------------------------------------------------------------
+
+#: Return value of a get on an absent key.
+MISSING = "MISSING"
+
+
+@dataclass(frozen=True)
+class MapPut:
+    key: Any
+    value: Any
+
+    def __str__(self) -> str:
+        return f"put({self.key!r}, {self.value!r})"
+
+
+@dataclass(frozen=True)
+class MapGet:
+    key: Any
+
+    def __str__(self) -> str:
+        return f"get({self.key!r})"
+
+
+@dataclass(frozen=True)
+class MapRemove:
+    key: Any
+
+    def __str__(self) -> str:
+        return f"map-remove({self.key!r})"
+
+
+class MapType(DataType):
+    """A key/value map; states are sorted tuples of (key, value) pairs.
+
+    Operations on distinct keys always commute backward; per key the
+    relation mirrors the register: equal-value puts commute, removes
+    commute with removes, and everything else involving a mutation of
+    the same key conflicts.
+    """
+
+    type_name = "map"
+
+    def __init__(self, initial: Any = ()) -> None:
+        self._initial = tuple(sorted(dict(initial).items()))
+
+    @property
+    def initial(self) -> Tuple[Tuple[Any, Any], ...]:
+        return self._initial
+
+    def apply(self, state: Tuple[Tuple[Any, Any], ...], op: Any) -> Tuple[Any, Any]:
+        data = dict(state)
+        if isinstance(op, MapPut):
+            data[op.key] = op.value
+            return tuple(sorted(data.items())), OK
+        if isinstance(op, MapRemove):
+            data.pop(op.key, None)
+            return tuple(sorted(data.items())), OK
+        if isinstance(op, MapGet):
+            return state, data.get(op.key, MISSING)
+        raise TypeError(f"not a map operation: {op!r}")
+
+    def is_read_only(self, op: Any) -> bool:
+        return isinstance(op, MapGet)
+
+    def commutes_backward(self, op1: Any, value1: Any, op2: Any, value2: Any) -> bool:
+        if op1.key != op2.key:
+            return True
+        if isinstance(op1, MapGet) and isinstance(op2, MapGet):
+            return True
+        if isinstance(op1, MapPut) and isinstance(op2, MapPut):
+            return op1.value == op2.value
+        if isinstance(op1, MapRemove) and isinstance(op2, MapRemove):
+            return True
+        # get/put, get/remove, put/remove on the same key all conflict
+        return False

@@ -1,0 +1,198 @@
+"""Definitional checks for equieffectiveness and backward commutativity.
+
+The exact ``commutes_backward`` tables in :mod:`repro.spec.builtin` are
+hand-derived; this module provides the machinery to *verify* them
+against the paper's definitions (Section 6.1) on bounded instances:
+
+* :func:`equieffective_states` — for deterministic, fully observable
+  types, two behaviors are equieffective iff they lead to equivalent
+  states;
+* :func:`commutes_backward_on_prefix` — the definitional implication for
+  a single prefix ``xi``;
+* :func:`find_commutativity_counterexample` — search random legal
+  prefixes for a violation of a claimed commutes/conflicts verdict.
+
+These are used by the test suite and by users defining new data types.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Any, Iterable, List, Optional, Sequence, Tuple
+
+from .datatype import DataType, IllegalOperation
+
+__all__ = [
+    "CommutativityCounterexample",
+    "equieffective_states",
+    "commutes_backward_on_prefix",
+    "random_legal_prefixes",
+    "exhaustive_prefixes",
+    "find_commutativity_counterexample",
+    "verify_commutativity_table",
+]
+
+Pair = Tuple[Any, Any]
+
+
+@dataclass(frozen=True)
+class CommutativityCounterexample:
+    """A prefix witnessing that a claimed commutativity verdict is wrong."""
+
+    prefix: Tuple[Pair, ...]
+    first: Pair
+    second: Pair
+    claimed_commutes: bool
+    reason: str
+
+    def __str__(self) -> str:
+        verdict = "commute" if self.claimed_commutes else "conflict"
+        return (
+            f"claimed {verdict} for {self.first} / {self.second} but after "
+            f"prefix of length {len(self.prefix)}: {self.reason}"
+        )
+
+
+def equieffective_states(datatype: DataType, state1: Any, state2: Any) -> bool:
+    """Equieffectiveness for deterministic types: equivalent states."""
+    return datatype.states_equivalent(state1, state2)
+
+
+def _replay_from(datatype: DataType, state: Any, pairs: Sequence[Pair]) -> Any:
+    for op, value in pairs:
+        state, expected = datatype.apply(state, op)
+        if expected != value:
+            raise IllegalOperation(f"{op} returned {value!r}, expected {expected!r}")
+    return state
+
+
+def commutes_backward_on_prefix(
+    datatype: DataType, prefix: Sequence[Pair], first: Pair, second: Pair
+) -> Optional[str]:
+    """Check the definitional implication for one prefix, one direction.
+
+    If ``perform(prefix + (first, second))`` is a behavior, then
+    ``perform(prefix + (second, first))`` must be a behavior leading to
+    an equieffective state.  Returns a violation description, or None
+    when the implication holds (including vacuously).
+    """
+    try:
+        base = _replay_from(datatype, datatype.initial, prefix)
+    except IllegalOperation:
+        return None  # not a legal prefix: vacuous
+    try:
+        forward = _replay_from(datatype, base, (first, second))
+    except IllegalOperation:
+        return None  # original order illegal: vacuous
+    try:
+        backward = _replay_from(datatype, base, (second, first))
+    except IllegalOperation:
+        return "swapped order is not a behavior"
+    if not equieffective_states(datatype, forward, backward):
+        return f"states differ: {forward!r} vs {backward!r}"
+    return None
+
+
+def random_legal_prefixes(
+    datatype: DataType,
+    operations: Sequence[Any],
+    count: int,
+    max_length: int,
+    rng: random.Random,
+) -> List[Tuple[Pair, ...]]:
+    """Sample legal operation prefixes (deterministic values are forced)."""
+    prefixes: List[Tuple[Pair, ...]] = [()]
+    for _ in range(count):
+        length = rng.randrange(max_length + 1)
+        ops = [rng.choice(list(operations)) for _ in range(length)]
+        prefixes.append(tuple(datatype.results_along(ops)))
+    return prefixes
+
+
+def exhaustive_prefixes(
+    datatype: DataType, operations: Sequence[Any], max_length: int
+) -> List[Tuple[Pair, ...]]:
+    """Every legal prefix over ``operations`` up to ``max_length``."""
+    prefixes: List[Tuple[Pair, ...]] = []
+    for length in range(max_length + 1):
+        for ops in itertools.product(operations, repeat=length):
+            prefixes.append(tuple(datatype.results_along(ops)))
+    return prefixes
+
+
+def find_commutativity_counterexample(
+    datatype: DataType,
+    first: Pair,
+    second: Pair,
+    prefixes: Iterable[Tuple[Pair, ...]],
+) -> Optional[CommutativityCounterexample]:
+    """Compare the claimed predicate against the definition over prefixes.
+
+    If the type claims the pair commutes, search for a prefix violating
+    the definition (in either direction, since the relation is
+    symmetric).  If the type claims a conflict, we cannot *prove* the
+    conflict from finitely many prefixes, but we report when every
+    sampled prefix satisfies the definitional implication both ways —
+    the caller decides whether that warrants suspicion (tests use
+    exhaustive small-domain prefixes, where it does).
+    """
+    claimed = datatype.commutes_backward(first[0], first[1], second[0], second[1])
+    prefix_list = list(prefixes)
+    violations: List[CommutativityCounterexample] = []
+    for prefix in prefix_list:
+        for a, b in ((first, second), (second, first)):
+            reason = commutes_backward_on_prefix(datatype, prefix, a, b)
+            if reason is not None:
+                violations.append(
+                    CommutativityCounterexample(prefix, a, b, claimed, reason)
+                )
+    if claimed and violations:
+        return violations[0]
+    if not claimed and not violations:
+        return CommutativityCounterexample(
+            (),
+            first,
+            second,
+            claimed,
+            "no prefix violated the definition (claimed conflict may be spurious)",
+        )
+    return None
+
+
+def verify_commutativity_table(
+    datatype: DataType,
+    pairs: Sequence[Pair],
+    prefixes: Iterable[Tuple[Pair, ...]],
+) -> List[CommutativityCounterexample]:
+    """Verify the claimed predicate over all unordered pairs of ``pairs``.
+
+    ``pairs`` are (op, value) combinations to consider; only pairs whose
+    values actually arise (legal in at least one sampled continuation)
+    matter — illegal combinations are vacuously fine and reported clean.
+    Also checks symmetry of the claimed predicate.
+    """
+    problems: List[CommutativityCounterexample] = []
+    prefix_list = list(prefixes)
+    for i, first in enumerate(pairs):
+        for second in pairs[i:]:
+            forward = datatype.commutes_backward(
+                first[0], first[1], second[0], second[1]
+            )
+            backward = datatype.commutes_backward(
+                second[0], second[1], first[0], first[1]
+            )
+            if forward != backward:
+                problems.append(
+                    CommutativityCounterexample(
+                        (), first, second, forward, "predicate is not symmetric"
+                    )
+                )
+                continue
+            counterexample = find_commutativity_counterexample(
+                datatype, first, second, prefix_list
+            )
+            if counterexample is not None:
+                problems.append(counterexample)
+    return problems

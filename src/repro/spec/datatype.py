@@ -1,0 +1,112 @@
+"""Serial specifications for objects of arbitrary data type (Section 6).
+
+A :class:`DataType` plays the role the read/write automaton ``S_X``
+plays in Sections 3–5: it defines which sequences of operations
+``(op, value)`` are legal, and — crucially for the serialization graph
+and the undo logging algorithm — which pairs of operations *conflict*,
+i.e. fail to commute backward.
+
+All built-in types are deterministic: the return value of an operation
+is a function of the state, so legality of a sequence is checked by
+replay, and two behaviors are equieffective exactly when they lead to
+equivalent states (:meth:`DataType.states_equivalent`).  Exact
+``commutes_backward`` predicates are supplied per type and are verified
+in the test suite against the paper's definition using the bounded
+checker in :mod:`repro.spec.commutativity`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Iterable, List, Sequence, Tuple
+
+__all__ = ["DataType", "IllegalOperation"]
+
+
+class IllegalOperation(ValueError):
+    """An operation/value pair is illegal in the current replayed state."""
+
+
+class DataType(ABC):
+    """The serial specification of an object of some data type."""
+
+    #: A short human-readable type name (used in diagnostics).
+    type_name: str = "datatype"
+
+    @property
+    @abstractmethod
+    def initial(self) -> Any:
+        """The initial state of the object."""
+
+    @abstractmethod
+    def apply(self, state: Any, op: Any) -> Tuple[Any, Any]:
+        """Apply ``op`` to ``state``; return ``(new_state, return_value)``.
+
+        Deterministic: the returned value is *the* legal return value of
+        ``op`` in ``state``.
+        """
+
+    @abstractmethod
+    def commutes_backward(self, op1: Any, value1: Any, op2: Any, value2: Any) -> bool:
+        """The exact backward-commutativity predicate for two operations.
+
+        Per Section 6.1 this must be symmetric; the test suite verifies
+        both symmetry and agreement with the definitional check.
+        """
+
+    def is_read_only(self, op: Any) -> bool:
+        """True iff ``op`` never changes the state.
+
+        Used by the read/update locking algorithm (the general form of
+        Moss' automaton) to grant shared locks; the default is the safe
+        answer.  Overriding types must guarantee ``apply(s, op)[0] == s``
+        for every state — the test suite checks this on bounded domains.
+        """
+        return False
+
+    # -- protocol shared with RWSpec (used by checkers) ---------------------
+
+    def conflicts(self, op1: Any, value1: Any, op2: Any, value2: Any) -> bool:
+        """Two operations conflict iff they fail to commute backward."""
+        return not self.commutes_backward(op1, value1, op2, value2)
+
+    def states_equivalent(self, state1: Any, state2: Any) -> bool:
+        """Observational equivalence of states (plain equality by default)."""
+        return state1 == state2
+
+    def replay(self, pairs: Sequence[Tuple[Any, Any]]) -> Any:
+        """Replay ``(op, value)`` pairs from the initial state.
+
+        Returns the final state; raises :class:`IllegalOperation` when a
+        pair's value differs from the value the type dictates.
+        """
+        state = self.initial
+        for op, value in pairs:
+            state, expected = self.apply(state, op)
+            if expected != value:
+                raise IllegalOperation(
+                    f"{self.type_name}: {op} returned {value!r}, expected {expected!r}"
+                )
+        return state
+
+    def is_legal(self, pairs: Sequence[Tuple[Any, Any]]) -> bool:
+        """True iff ``perform`` of the pairs is a behavior of this spec."""
+        try:
+            self.replay(pairs)
+        except IllegalOperation:
+            return False
+        return True
+
+    def result_of(self, pairs: Sequence[Tuple[Any, Any]], op: Any) -> Any:
+        """The value ``op`` must return when performed after ``pairs``."""
+        state = self.replay(pairs)
+        return self.apply(state, op)[1]
+
+    def results_along(self, ops: Iterable[Any]) -> List[Tuple[Any, Any]]:
+        """Assign the forced return value to each operation in sequence."""
+        state = self.initial
+        pairs: List[Tuple[Any, Any]] = []
+        for op in ops:
+            state, value = self.apply(state, op)
+            pairs.append((op, value))
+        return pairs

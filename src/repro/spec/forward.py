@@ -1,0 +1,119 @@
+"""Forward commutativity — the *other* commutativity relation of Weihl [16].
+
+The paper's footnote 10 notes that the commutativity required by the
+undo logging algorithm (backward commutativity, Section 6.1) differs
+from the relation used in [4], and points to Weihl [16] for the
+comparison.  This module implements the comparison:
+
+* two operations ``(T, v)`` and ``(T', v')`` **commute forward** when,
+  for every legal prefix ``xi`` after which *each* of them is
+  individually legal, performing them in either order is legal and the
+  two orders are equieffective;
+* backward commutativity (``DataType.commutes_backward``) instead
+  quantifies over prefixes after which the *sequence* is legal.
+
+Weihl's result is that neither implies the other, and that algorithms
+using undo-based recovery (like ``U_X``) need backward commutativity,
+while intentions-list (deferred-update) algorithms need forward
+commutativity.  The canonical separation lives in the bank account:
+two successful withdrawals commute backward (if both succeeded in
+sequence, order is immaterial) but *not* forward (each may succeed
+alone from a balance that cannot fund both).
+
+:func:`forward_commutes_on_prefix` is the definitional check for one
+prefix; :func:`forward_commutes` decides the relation over a supplied
+prefix family (exhaustive small-domain families in the tests).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional, Sequence, Tuple
+
+from .datatype import DataType, IllegalOperation
+
+__all__ = [
+    "forward_commutes_on_prefix",
+    "forward_commutes",
+    "forward_backward_disagreements",
+]
+
+Pair = Tuple[Any, Any]
+
+
+def _apply_checked(datatype: DataType, state: Any, pair: Pair) -> Any:
+    new_state, value = datatype.apply(state, pair[0])
+    if value != pair[1]:
+        raise IllegalOperation(f"{pair[0]} returned {value!r}, expected {pair[1]!r}")
+    return new_state
+
+
+def forward_commutes_on_prefix(
+    datatype: DataType, prefix: Sequence[Pair], first: Pair, second: Pair
+) -> Optional[str]:
+    """Check the forward-commutativity implication for one prefix.
+
+    If both operations are individually legal after ``prefix``, then
+    both orders must be legal and lead to equivalent states.  Returns a
+    violation description or None (including vacuously).
+    """
+    try:
+        base = datatype.replay(prefix)
+    except IllegalOperation:
+        return None
+    try:
+        after_first = _apply_checked(datatype, base, first)
+        _apply_checked(datatype, base, second)
+    except IllegalOperation:
+        return None  # one of them is not individually legal: vacuous
+    try:
+        state_fs = _apply_checked(datatype, after_first, second)
+    except IllegalOperation:
+        return f"{second[0]} illegal after {first[0]}"
+    try:
+        after_second = _apply_checked(datatype, base, second)
+        state_sf = _apply_checked(datatype, after_second, first)
+    except IllegalOperation:
+        return f"{first[0]} illegal after {second[0]}"
+    if not datatype.states_equivalent(state_fs, state_sf):
+        return f"states differ: {state_fs!r} vs {state_sf!r}"
+    return None
+
+
+def forward_commutes(
+    datatype: DataType,
+    first: Pair,
+    second: Pair,
+    prefixes: Iterable[Sequence[Pair]],
+) -> bool:
+    """Decide forward commutativity over the supplied prefix family."""
+    for prefix in prefixes:
+        if forward_commutes_on_prefix(datatype, prefix, first, second) is not None:
+            return False
+    return True
+
+
+def forward_backward_disagreements(
+    datatype: DataType,
+    pairs: Sequence[Pair],
+    prefixes: Sequence[Sequence[Pair]],
+) -> List[Tuple[Pair, Pair, str]]:
+    """Enumerate pairs on which the two relations disagree.
+
+    Returns ``(first, second, which)`` triples, where ``which`` is
+    ``"backward-only"`` (commute backward, not forward) or
+    ``"forward-only"``.  Backward verdicts come from the type's exact
+    table; forward verdicts from the definitional check over
+    ``prefixes``.
+    """
+    disagreements: List[Tuple[Pair, Pair, str]] = []
+    for i, first in enumerate(pairs):
+        for second in pairs[i:]:
+            backward = datatype.commutes_backward(
+                first[0], first[1], second[0], second[1]
+            )
+            forward = forward_commutes(datatype, first, second, prefixes)
+            if backward and not forward:
+                disagreements.append((first, second, "backward-only"))
+            elif forward and not backward:
+                disagreements.append((first, second, "forward-only"))
+    return disagreements

@@ -1,0 +1,167 @@
+"""The undo logging object automaton ``U_X`` (Section 6.2).
+
+A generic object for objects of *arbitrary* data type, generalising
+Weihl's algorithm to nested transactions.  The state is a log of
+operations (with aborted descendants excised) plus created /
+commit-requested / committed bookkeeping:
+
+* a ``REQUEST_COMMIT(T, v)`` is enabled when ``(T, v)`` commutes
+  backward with every logged operation whose issuer is not yet known to
+  be an ancestor-or-committed-up-to ``T`` (the "not visible" ones), and
+  appending ``(T, v)`` to the log keeps the log a behavior of ``S_X``;
+* ``INFORM_COMMIT`` merely records the commit (loosening future
+  commutativity checks);
+* ``INFORM_ABORT`` removes all of the aborted transaction's descendants'
+  operations from the log — recovery by undo.
+
+Works with any serial specification exposing ``conflicts``/``is_legal``/
+``result_of``: both :class:`repro.spec.datatype.DataType` instances and
+the plain :class:`repro.core.rw_semantics.RWSpec` (the latter yields a
+read/write object with classical conflicts — the E7 ablation contrasts
+it with the exact-commutativity :class:`repro.spec.builtin.RegisterType`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, FrozenSet, Iterator, List, Optional, Tuple
+
+from ..core.actions import (
+    Action,
+    Create,
+    InformAbort,
+    InformCommit,
+    RequestCommit,
+)
+from ..core.names import ObjectName, SystemType, TransactionName
+from ..core.operations import Operation
+from ..generic.objects import GenericObject
+
+__all__ = ["UndoLogState", "UndoLoggingObject"]
+
+
+@dataclass(frozen=True)
+class UndoLogState:
+    """The state of ``U_X``: bookkeeping sets plus the operation log."""
+
+    created: FrozenSet[TransactionName] = frozenset()
+    commit_requested: FrozenSet[TransactionName] = frozenset()
+    committed: FrozenSet[TransactionName] = frozenset()
+    operations: Tuple[Operation, ...] = ()
+
+
+class UndoLoggingObject(GenericObject):
+    """``U_X``: the undo logging generic object automaton."""
+
+    def __init__(self, obj: ObjectName, system_type: SystemType) -> None:
+        super().__init__(obj, system_type)
+        self.spec = system_type.spec(obj)
+        for required in ("conflicts", "is_legal", "result_of"):
+            if not hasattr(self.spec, required):
+                raise TypeError(
+                    f"spec for {obj} lacks {required!r}; undo logging needs it"
+                )
+        self.name = f"U_{obj}"
+
+    # -- helpers -----------------------------------------------------------
+
+    def _pairs(self, log: Tuple[Operation, ...]) -> Tuple[Tuple[Any, Any], ...]:
+        return tuple(
+            (self.system_type.access(entry.transaction).op, entry.value)
+            for entry in log
+        )
+
+    def _commutes_with_uncommitted(
+        self, state: UndoLogState, transaction: TransactionName, value: Any
+    ) -> bool:
+        """The commutativity precondition of ``REQUEST_COMMIT(T, v)``.
+
+        ``(T, v)`` must commute backward with every logged ``(T', v')``
+        such that some ancestor of ``T'`` outside ``ancestors(T)`` is not
+        known committed.
+        """
+        op = self.system_type.access(transaction).op
+        for entry in state.operations:
+            issuer = entry.transaction
+            pending = any(
+                ancestor not in state.committed
+                for ancestor in issuer.ancestors()
+                if not ancestor.is_ancestor_of(transaction)
+            )
+            if not pending:
+                continue
+            other_op = self.system_type.access(issuer).op
+            if self.spec.conflicts(other_op, entry.value, op, value):
+                return False
+        return True
+
+    def _forced_value(
+        self, state: UndoLogState, transaction: TransactionName
+    ) -> Optional[Any]:
+        """The value making ``perform(log + (T, v))`` a behavior of ``S_X``.
+
+        The log is legal by construction, and our specifications are
+        deterministic, so there is exactly one such value.
+        """
+        op = self.system_type.access(transaction).op
+        pairs = self._pairs(state.operations)
+        if not self.spec.is_legal(pairs):
+            return None
+        return self.spec.result_of(pairs, op)
+
+    # -- transitions ----------------------------------------------------------
+
+    def initial_state(self) -> UndoLogState:
+        return UndoLogState()
+
+    def enabled(self, state: UndoLogState, action: Action) -> bool:
+        if self.is_input(action):
+            return True
+        if isinstance(action, RequestCommit):
+            transaction = action.transaction
+            if (
+                transaction not in state.created
+                or transaction in state.commit_requested
+            ):
+                return False
+            if not self._commutes_with_uncommitted(state, transaction, action.value):
+                return False
+            return self._forced_value(state, transaction) == action.value
+        return False
+
+    def effect(self, state: UndoLogState, action: Action) -> UndoLogState:
+        if isinstance(action, Create):
+            return replace(state, created=state.created | {action.transaction})
+        if isinstance(action, InformCommit):
+            return replace(state, committed=state.committed | {action.transaction})
+        if isinstance(action, InformAbort):
+            survivors = tuple(
+                entry
+                for entry in state.operations
+                if not action.transaction.is_ancestor_of(entry.transaction)
+            )
+            return replace(state, operations=survivors)
+        if isinstance(action, RequestCommit):
+            return replace(
+                state,
+                commit_requested=state.commit_requested | {action.transaction},
+                operations=state.operations
+                + (Operation(action.transaction, action.value),),
+            )
+        raise ValueError(f"{self.name}: {action} not in signature")
+
+    def enabled_outputs(self, state: UndoLogState) -> Iterator[Action]:
+        for transaction in sorted(state.created - state.commit_requested):
+            value = self._forced_value(state, transaction)
+            if value is None:
+                continue
+            if self._commutes_with_uncommitted(state, transaction, value):
+                yield RequestCommit(transaction, value)
+
+    def blocked_accesses(self, state: UndoLogState) -> Iterator[TransactionName]:
+        for transaction in sorted(state.created - state.commit_requested):
+            value = self._forced_value(state, transaction)
+            if value is None or not self._commutes_with_uncommitted(
+                state, transaction, value
+            ):
+                yield transaction

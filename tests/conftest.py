@@ -1,0 +1,157 @@
+"""Shared fixtures and builders for the test suite."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence, Tuple
+
+import pytest
+
+from repro import (
+    OK,
+    Abort,
+    Access,
+    Commit,
+    Create,
+    ObjectName,
+    ReadOp,
+    ReportAbort,
+    ReportCommit,
+    RequestCommit,
+    RequestCreate,
+    RWSpec,
+    SystemType,
+    TransactionName,
+    WriteOp,
+)
+
+
+def T(*path: str) -> TransactionName:
+    """Shorthand transaction name constructor."""
+    return TransactionName(tuple(path))
+
+
+def rw_system(*objects: str, initial: Any = 0) -> SystemType:
+    """A system type with the given read/write objects."""
+    return SystemType({ObjectName(name): RWSpec(initial=initial) for name in objects})
+
+
+class BehaviorBuilder:
+    """Builds hand-crafted simple behaviors with the full action ceremony.
+
+    Each helper appends the appropriate serial actions and registers
+    access names in the system type as it goes, so that tests can write
+    scenarios at the level the paper discusses them.
+    """
+
+    def __init__(self, system_type: SystemType) -> None:
+        self.system_type = system_type
+        self.actions: List[Any] = []
+
+    # -- raw -------------------------------------------------------------
+
+    def emit(self, *actions: Any) -> "BehaviorBuilder":
+        self.actions.extend(actions)
+        return self
+
+    # -- transactions ------------------------------------------------------
+
+    def begin(self, transaction: TransactionName) -> TransactionName:
+        """REQUEST_CREATE + CREATE for a (non-access) transaction."""
+        self.actions += [RequestCreate(transaction), Create(transaction)]
+        return transaction
+
+    def begin_top(self, name: str) -> TransactionName:
+        return self.begin(T(name))
+
+    def commit(self, transaction: TransactionName, value: Any = "done") -> None:
+        """REQUEST_COMMIT + COMMIT + REPORT_COMMIT."""
+        self.actions += [
+            RequestCommit(transaction, value),
+            Commit(transaction),
+            ReportCommit(transaction, value),
+        ]
+
+    def abort(self, transaction: TransactionName, report: bool = True) -> None:
+        self.actions.append(Abort(transaction))
+        if report:
+            self.actions.append(ReportAbort(transaction))
+
+    # -- accesses ---------------------------------------------------------
+
+    def access(
+        self,
+        parent: TransactionName,
+        component: str,
+        obj: str,
+        operation: Any,
+        value: Any,
+        commit: bool = True,
+    ) -> TransactionName:
+        """The full access ceremony; with ``commit=False`` stops after the
+        REQUEST_COMMIT (access invoked and answered but not yet committed)."""
+        access = parent.child(component)
+        self.system_type.register_access(access, Access(ObjectName(obj), operation))
+        self.actions += [
+            RequestCreate(access),
+            Create(access),
+            RequestCommit(access, value),
+        ]
+        if commit:
+            self.actions += [Commit(access), ReportCommit(access, value)]
+        return access
+
+    def read(
+        self, parent: TransactionName, component: str, obj: str, value: Any, **kw: Any
+    ) -> TransactionName:
+        return self.access(parent, component, obj, ReadOp(), value, **kw)
+
+    def write(
+        self, parent: TransactionName, component: str, obj: str, data: Any, **kw: Any
+    ) -> TransactionName:
+        return self.access(parent, component, obj, WriteOp(data), OK, **kw)
+
+    def build(self) -> Tuple[Any, ...]:
+        return tuple(self.actions)
+
+
+@pytest.fixture
+def xy_system() -> SystemType:
+    return rw_system("x", "y")
+
+
+@pytest.fixture
+def builder(xy_system: SystemType) -> BehaviorBuilder:
+    return BehaviorBuilder(xy_system)
+
+
+# The canonical anomaly behaviors live in the public scenario library
+# (repro.scenarios); these wrappers keep the historic two-value signature
+# the tests use.
+
+
+def _scenario(name: str) -> Tuple[Tuple[Any, ...], SystemType]:
+    from repro.scenarios import build_scenario
+
+    behavior, system_type, _ = build_scenario(name)
+    return behavior, system_type
+
+
+def lost_update_behavior() -> Tuple[Tuple[Any, ...], SystemType]:
+    """Two committed top-level txns racing read-then-write on x: SG cycle."""
+    return _scenario("lost-update")
+
+
+def blind_write_cycle_behavior() -> Tuple[Tuple[Any, ...], SystemType]:
+    """Blind writes in opposite orders on x and y: SG cyclic yet serially
+    correct (the sufficiency-not-necessity example, experiment E4)."""
+    return _scenario("blind-writes")
+
+
+def dirty_read_behavior() -> Tuple[Tuple[Any, ...], SystemType]:
+    """A committed reader observed an aborted writer's value: ARV violation."""
+    return _scenario("dirty-read")
+
+
+def serial_two_txn_behavior() -> Tuple[Tuple[Any, ...], SystemType]:
+    """A genuinely serial two-transaction behavior (always certifiable)."""
+    return _scenario("serial")

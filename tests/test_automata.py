@@ -1,0 +1,139 @@
+"""Tests for the I/O automaton base framework and composition."""
+
+import pytest
+
+from repro import Commit, Create, IOAutomaton, RequestCreate
+from repro.automata.base import behavior_of, replay_schedule
+from repro.automata.composition import Composition
+
+from conftest import T
+
+
+class Toggle(IOAutomaton):
+    """A toy automaton: input CREATE(t) sets a flag, output COMMIT(t) clears it."""
+
+    def __init__(self, name: str, transaction):
+        self.name = name
+        self.transaction = transaction
+
+    def is_input(self, action):
+        return isinstance(action, Create) and action.transaction == self.transaction
+
+    def is_output(self, action):
+        return isinstance(action, Commit) and action.transaction == self.transaction
+
+    def initial_state(self):
+        return False
+
+    def enabled(self, state, action):
+        if self.is_input(action):
+            return True
+        return state  # commit only when flag set
+
+    def effect(self, state, action):
+        if isinstance(action, Create):
+            return True
+        return False
+
+    def enabled_outputs(self, state):
+        if state:
+            yield Commit(self.transaction)
+
+
+class Listener(Toggle):
+    """Same transaction's COMMIT as an *input* (for composition tests)."""
+
+    def is_input(self, action):
+        return isinstance(action, Commit) and action.transaction == self.transaction
+
+    def is_output(self, action):
+        return False
+
+    def enabled(self, state, action):
+        return True
+
+    def effect(self, state, action):
+        return True
+
+    def enabled_outputs(self, state):
+        return iter(())
+
+
+class TestBase:
+    def test_replay_valid_schedule(self):
+        automaton = Toggle("a", T("t"))
+        execution = replay_schedule(automaton, [Create(T("t")), Commit(T("t"))])
+        assert execution.final_state is False
+        assert execution.schedule() == (Create(T("t")), Commit(T("t")))
+
+    def test_replay_rejects_disabled_output(self):
+        automaton = Toggle("a", T("t"))
+        with pytest.raises(ValueError):
+            replay_schedule(automaton, [Commit(T("t"))])
+
+    def test_replay_rejects_foreign_action(self):
+        automaton = Toggle("a", T("t"))
+        with pytest.raises(ValueError):
+            replay_schedule(automaton, [RequestCreate(T("u"))])
+
+    def test_non_strict_replay_skips_enabledness(self):
+        automaton = Toggle("a", T("t"))
+        execution = replay_schedule(automaton, [Commit(T("t"))], strict=False)
+        assert execution.final_state is False
+
+    def test_behavior_of_projects(self):
+        automaton = Toggle("a", T("t"))
+        schedule = [Create(T("t")), Create(T("u")), Commit(T("t"))]
+        assert behavior_of(automaton, schedule) == (
+            Create(T("t")),
+            Commit(T("t")),
+        )
+
+
+class TestComposition:
+    def test_unique_names_required(self):
+        with pytest.raises(ValueError):
+            Composition([Toggle("a", T("t")), Toggle("a", T("u"))])
+
+    def test_shared_action_steps_both(self):
+        toggle = Toggle("toggle", T("t"))
+        listener = Listener("listener", T("t"))
+        system = Composition([toggle, listener])
+        state = system.initial_state()
+        state = system.effect(state, Create(T("t")))
+        assert state["toggle"] is True
+        assert state["listener"] is False  # listener ignores CREATE
+        state = system.effect(state, Commit(T("t")))
+        assert state["toggle"] is False
+        assert state["listener"] is True  # listener heard the commit
+
+    def test_output_classification(self):
+        toggle = Toggle("toggle", T("t"))
+        listener = Listener("listener", T("t"))
+        system = Composition([toggle, listener])
+        # COMMIT(t) is an output of toggle, so an output of the composite
+        assert system.is_output(Commit(T("t")))
+        assert not system.is_input(Commit(T("t")))
+        # CREATE(t) is only an input
+        assert system.is_input(Create(T("t")))
+
+    def test_enabled_outputs_aggregated(self):
+        toggle = Toggle("toggle", T("t"))
+        system = Composition([toggle])
+        state = system.initial_state()
+        assert list(system.enabled_outputs(state)) == []
+        state = system.effect(state, Create(T("t")))
+        assert list(system.enabled_outputs(state)) == [Commit(T("t"))]
+
+    def test_enabled_checks_owner(self):
+        toggle = Toggle("toggle", T("t"))
+        system = Composition([toggle])
+        state = system.initial_state()
+        assert not system.enabled(state, Commit(T("t")))
+        state = system.effect(state, Create(T("t")))
+        assert system.enabled(state, Commit(T("t")))
+
+    def test_duplicate_output_owner_rejected_dynamically(self):
+        system = Composition([Toggle("a", T("t")), Toggle("b", T("t"))])
+        with pytest.raises(ValueError):
+            system.enabled(system.initial_state(), Commit(T("t")))

@@ -1,0 +1,204 @@
+"""Definitional verification of the backward-commutativity tables.
+
+For each built-in type we enumerate every (operation, value) combination
+realisable after a short legal prefix, then check the type's claimed
+``commutes_backward`` verdicts against the paper's definition on all
+those prefixes: claimed-commute pairs must satisfy the swap implication
+everywhere, and claimed-conflict pairs must exhibit a concrete witness.
+"""
+
+import pytest
+
+from repro.spec.builtin import (
+    EMPTY,
+    OK,
+    BalanceRead,
+    BankAccountType,
+    CounterInc,
+    CounterRead,
+    CounterType,
+    Deposit,
+    Dequeue,
+    Enqueue,
+    QueueType,
+    RegisterType,
+    RegRead,
+    RegWrite,
+    SetInsert,
+    SetMember,
+    SetRemove,
+    SetType,
+    Withdraw,
+)
+from repro.spec.commutativity import (
+    commutes_backward_on_prefix,
+    exhaustive_prefixes,
+    verify_commutativity_table,
+)
+from repro.core.rw_semantics import ReadOp, RWSpec, WriteOp
+
+
+def jointly_realizable(datatype, operations, prefixes):
+    """Ordered operation pairs that are adjacent-legal after some prefix.
+
+    These are exactly the combinations the definition's hypothesis can
+    fire on, so a claimed conflict among them must have a witness within
+    the prefix set.
+    """
+    combos = set()
+    for prefix in prefixes:
+        state = datatype.replay(prefix)
+        for first in operations:
+            mid_state, value1 = datatype.apply(state, first)
+            for second in operations:
+                _, value2 = datatype.apply(mid_state, second)
+                combos.add(((first, value1), (second, value2)))
+    return sorted(combos, key=repr)
+
+
+def check_type(datatype, operations, max_length=3):
+    from repro.spec.commutativity import find_commutativity_counterexample
+
+    prefixes = exhaustive_prefixes(datatype, operations, max_length)
+    problems = []
+    seen = set()
+    for first, second in jointly_realizable(datatype, operations, prefixes):
+        key = frozenset((first, second))
+        if key in seen:
+            continue
+        seen.add(key)
+        # symmetry of the claimed predicate
+        forward = datatype.commutes_backward(first[0], first[1], second[0], second[1])
+        backward = datatype.commutes_backward(second[0], second[1], first[0], first[1])
+        assert forward == backward, (first, second)
+        counterexample = find_commutativity_counterexample(
+            datatype, first, second, prefixes
+        )
+        if counterexample is not None:
+            problems.append(counterexample)
+    assert problems == [], "\n".join(str(p) for p in problems)
+
+
+class TestTablesMatchDefinition:
+    def test_register(self):
+        check_type(RegisterType(initial=0), [RegWrite(1), RegWrite(2), RegRead()])
+
+    def test_counter(self):
+        check_type(
+            CounterType(initial=0),
+            [CounterInc(1), CounterInc(-1), CounterInc(0), CounterRead()],
+        )
+
+    def test_set(self):
+        check_type(
+            SetType(),
+            [SetInsert(1), SetInsert(2), SetRemove(1), SetMember(1), SetMember(2)],
+        )
+
+    def test_bank_account(self):
+        check_type(
+            BankAccountType(initial=10),
+            [Deposit(5), Withdraw(5), Withdraw(20), BalanceRead()],
+        )
+
+    def test_queue(self):
+        check_type(QueueType(), [Enqueue("a"), Enqueue("b"), Dequeue()], max_length=3)
+
+
+class TestSpotChecks:
+    def test_register_same_value_writes_commute(self):
+        reg = RegisterType()
+        assert reg.commutes_backward(RegWrite(5), OK, RegWrite(5), OK)
+        assert not reg.commutes_backward(RegWrite(5), OK, RegWrite(6), OK)
+
+    def test_register_read_write_always_conflict(self):
+        reg = RegisterType()
+        # even a read that returned the written value conflicts: the swap
+        # implication fails when the write covered a different prior state
+        assert not reg.commutes_backward(RegRead(), 5, RegWrite(5), OK)
+        assert not reg.commutes_backward(RegRead(), 4, RegWrite(5), OK)
+
+    def test_counter_updates_commute(self):
+        counter = CounterType()
+        assert counter.commutes_backward(CounterInc(3), OK, CounterInc(-7), OK)
+        assert not counter.commutes_backward(CounterInc(3), OK, CounterRead(), 5)
+        assert counter.commutes_backward(CounterInc(0), OK, CounterRead(), 5)
+
+    def test_bank_successful_withdrawals_commute(self):
+        account = BankAccountType()
+        assert account.commutes_backward(Withdraw(5), OK, Withdraw(7), OK)
+        assert not account.commutes_backward(Withdraw(5), OK, Deposit(3), OK)
+        assert account.commutes_backward(
+            Withdraw(5), BankAccountType.FAIL, BalanceRead(), 3
+        )
+
+    def test_queue_mostly_conflicts(self):
+        queue = QueueType()
+        assert not queue.commutes_backward(Enqueue("a"), OK, Enqueue("b"), OK)
+        assert queue.commutes_backward(Enqueue("a"), OK, Enqueue("a"), OK)
+        assert queue.commutes_backward(Enqueue("a"), OK, Dequeue(), "b")
+        assert not queue.commutes_backward(Enqueue("a"), OK, Dequeue(), "a")
+        assert not queue.commutes_backward(Enqueue("a"), OK, Dequeue(), EMPTY)
+        assert queue.commutes_backward(Dequeue(), "a", Dequeue(), "a")
+        assert not queue.commutes_backward(Dequeue(), "a", Dequeue(), "b")
+
+
+class TestClassicalIsCoarser:
+    def test_rwspec_conflicts_superset_of_exact_register(self):
+        """The classical RW conflict rule subsumes the exact one.
+
+        Whenever the exact register relation reports a conflict, the
+        classical rule must also report one (it may report more — that
+        headroom is the E7 concurrency gap).
+        """
+        reg = RegisterType(initial=0)
+        classical = RWSpec(initial=0)
+        combos = [
+            (RegWrite(1), OK, WriteOp(1), OK),
+            (RegWrite(2), OK, WriteOp(2), OK),
+            (RegRead(), 0, ReadOp(), 0),
+            (RegRead(), 1, ReadOp(), 1),
+        ]
+        for op1, v1, cop1, cv1 in combos:
+            for op2, v2, cop2, cv2 in combos:
+                if reg.conflicts(op1, v1, op2, v2):
+                    assert classical.conflicts(cop1, cv1, cop2, cv2)
+
+    def test_strict_gap_exists(self):
+        # same-value writes: exact commutes, classical conflicts
+        reg = RegisterType()
+        classical = RWSpec()
+        assert not reg.conflicts(RegWrite(1), OK, RegWrite(1), OK)
+        assert classical.conflicts(WriteOp(1), OK, WriteOp(1), OK)
+
+
+class TestDefinitionalPrimitive:
+    def test_violation_reported_for_false_commute(self):
+        counter = CounterType()
+        # read(0) then inc(1) is legal from the empty prefix, but the
+        # swapped order makes the read illegal: a violation both ways.
+        reason = commutes_backward_on_prefix(
+            counter, (), (CounterRead(), 0), (CounterInc(1), OK)
+        )
+        assert reason is not None
+        reason = commutes_backward_on_prefix(
+            counter, (), (CounterInc(1), OK), (CounterRead(), 1)
+        )
+        assert reason is not None
+
+    def test_no_violation_for_true_commute(self):
+        counter = CounterType()
+        reason = commutes_backward_on_prefix(
+            counter, (), (CounterInc(1), OK), (CounterInc(2), OK)
+        )
+        assert reason is None
+
+    def test_vacuous_on_illegal_prefix(self):
+        counter = CounterType()
+        bad_prefix = ((CounterRead(), 999),)
+        assert (
+            commutes_backward_on_prefix(
+                counter, bad_prefix, (CounterInc(1), OK), (CounterRead(), 1000)
+            )
+            is None
+        )

@@ -1,0 +1,137 @@
+"""Tests for the built-in data types' sequential semantics."""
+
+import pytest
+
+from repro.spec.builtin import (
+    EMPTY,
+    OK,
+    BalanceRead,
+    BankAccountType,
+    CounterInc,
+    CounterRead,
+    CounterType,
+    Deposit,
+    Dequeue,
+    Enqueue,
+    QueueType,
+    RegisterType,
+    RegRead,
+    RegWrite,
+    SetInsert,
+    SetMember,
+    SetRemove,
+    SetType,
+    Withdraw,
+)
+from repro.spec.datatype import IllegalOperation
+
+
+class TestRegister:
+    def test_apply(self):
+        reg = RegisterType(initial=0)
+        state, value = reg.apply(0, RegWrite(5))
+        assert (state, value) == (5, OK)
+        state, value = reg.apply(5, RegRead())
+        assert (state, value) == (5, 5)
+
+    def test_replay_and_legality(self):
+        reg = RegisterType(initial=0)
+        assert reg.is_legal(((RegWrite(3), OK), (RegRead(), 3)))
+        assert not reg.is_legal(((RegWrite(3), OK), (RegRead(), 0)))
+        with pytest.raises(IllegalOperation):
+            reg.replay(((RegRead(), 99),))
+
+    def test_foreign_op_rejected(self):
+        with pytest.raises(TypeError):
+            RegisterType().apply(None, "bogus")
+
+
+class TestCounter:
+    def test_apply(self):
+        counter = CounterType(initial=0)
+        assert counter.apply(0, CounterInc(3)) == (3, OK)
+        assert counter.apply(3, CounterInc(-5)) == (-2, OK)
+        assert counter.apply(7, CounterRead()) == (7, 7)
+
+    def test_results_along(self):
+        counter = CounterType(initial=1)
+        pairs = counter.results_along([CounterInc(2), CounterRead()])
+        assert pairs == [(CounterInc(2), OK), (CounterRead(), 3)]
+
+
+class TestSet:
+    def test_apply(self):
+        s = SetType()
+        state, value = s.apply(frozenset(), SetInsert(1))
+        assert state == frozenset({1}) and value == OK
+        state, value = s.apply(state, SetMember(1))
+        assert value is True
+        state, value = s.apply(state, SetRemove(1))
+        assert state == frozenset() and value == OK
+        _, value = s.apply(state, SetMember(1))
+        assert value is False
+
+    def test_initial(self):
+        s = SetType(initial=frozenset({1, 2}))
+        assert s.initial == frozenset({1, 2})
+        assert s.result_of((), SetMember(2)) is True
+
+
+class TestBankAccount:
+    def test_deposit_withdraw(self):
+        account = BankAccountType(initial=10)
+        assert account.apply(10, Deposit(5)) == (15, OK)
+        assert account.apply(15, Withdraw(15)) == (0, OK)
+        assert account.apply(0, Withdraw(1)) == (0, BankAccountType.FAIL)
+        assert account.apply(7, BalanceRead()) == (7, 7)
+
+    def test_negative_amounts_rejected(self):
+        with pytest.raises(ValueError):
+            Deposit(-1)
+        with pytest.raises(ValueError):
+            Withdraw(-1)
+        with pytest.raises(ValueError):
+            BankAccountType(initial=-5)
+
+    def test_replay_overdraft_sequence(self):
+        account = BankAccountType(initial=10)
+        pairs = (
+            (Withdraw(7), OK),
+            (Withdraw(7), BankAccountType.FAIL),
+            (Deposit(4), OK),
+            (Withdraw(7), OK),
+        )
+        assert account.replay(pairs) == 0
+        assert account.is_legal(pairs)
+        assert not account.is_legal(((Withdraw(100), OK),))
+
+
+class TestQueue:
+    def test_fifo_order(self):
+        queue = QueueType()
+        pairs = queue.results_along([Enqueue("a"), Enqueue("b"), Dequeue(), Dequeue()])
+        assert [value for _, value in pairs] == [OK, OK, "a", "b"]
+
+    def test_empty_dequeue(self):
+        queue = QueueType()
+        assert queue.apply((), Dequeue()) == ((), EMPTY)
+
+    def test_initial_contents(self):
+        queue = QueueType(initial=("x",))
+        assert queue.result_of((), Dequeue()) == "x"
+
+    def test_illegal_replay(self):
+        queue = QueueType()
+        assert not queue.is_legal(((Dequeue(), "ghost"),))
+        assert queue.is_legal(((Dequeue(), EMPTY),))
+
+
+class TestProtocol:
+    def test_conflicts_is_negated_commutes(self):
+        counter = CounterType()
+        assert counter.conflicts(CounterInc(1), OK, CounterRead(), 0)
+        assert not counter.conflicts(CounterInc(1), OK, CounterInc(2), OK)
+
+    def test_states_equivalent_default(self):
+        assert CounterType().states_equivalent(3, 3)
+        assert not CounterType().states_equivalent(3, 4)

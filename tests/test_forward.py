@@ -1,0 +1,111 @@
+"""Tests for forward commutativity and its separation from backward."""
+
+from repro.spec.builtin import (
+    OK,
+    BalanceRead,
+    BankAccountType,
+    CounterInc,
+    CounterRead,
+    CounterType,
+    Deposit,
+    RegRead,
+    RegWrite,
+    RegisterType,
+    Withdraw,
+)
+from repro.spec.commutativity import exhaustive_prefixes
+from repro.spec.forward import (
+    forward_backward_disagreements,
+    forward_commutes,
+    forward_commutes_on_prefix,
+)
+
+
+class TestForwardPrimitive:
+    def test_increments_commute_forward(self):
+        counter = CounterType()
+        assert (
+            forward_commutes_on_prefix(
+                counter, (), (CounterInc(1), OK), (CounterInc(2), OK)
+            )
+            is None
+        )
+
+    def test_read_inc_do_not_commute_forward(self):
+        counter = CounterType()
+        # from state 0 both read(0) and inc are individually legal, but
+        # read(0) after inc is illegal
+        reason = forward_commutes_on_prefix(
+            counter, (), (CounterRead(), 0), (CounterInc(1), OK)
+        )
+        assert reason is not None
+
+    def test_vacuous_when_not_individually_legal(self):
+        counter = CounterType()
+        # read(5) is not legal after the empty prefix: vacuous
+        assert (
+            forward_commutes_on_prefix(
+                counter, (), (CounterRead(), 5), (CounterInc(1), OK)
+            )
+            is None
+        )
+
+
+class TestWeihlSeparation:
+    def test_withdrawals_commute_backward_but_not_forward(self):
+        """The canonical [16] example, cited by the paper's footnote 10."""
+        account = BankAccountType(initial=15)
+        w1 = (Withdraw(10), OK)
+        w2 = (Withdraw(10), OK)
+        # backward: the exact (test-verified) table says they commute
+        assert account.commutes_backward(w1[0], w1[1], w2[0], w2[1])
+        # forward: from balance 15 each alone succeeds, both in sequence
+        # cannot — the definitional check finds the violation
+        prefixes = exhaustive_prefixes(account, [Deposit(5), Withdraw(10)], 2)
+        assert not forward_commutes(account, w1, w2, prefixes)
+
+    def test_disagreement_enumeration(self):
+        account = BankAccountType(initial=15)
+        prefixes = exhaustive_prefixes(account, [Deposit(5), Withdraw(10)], 2)
+        pairs = [
+            (Withdraw(10), OK),
+            (Deposit(5), OK),
+            (BalanceRead(), 15),
+        ]
+        disagreements = forward_backward_disagreements(account, pairs, prefixes)
+        kinds = {(str(f[0]), str(s[0]), which) for f, s, which in disagreements}
+        assert ("withdraw(10)", "withdraw(10)", "backward-only") in kinds
+
+    def test_register_separates_in_the_other_direction(self):
+        """Registers witness a *forward-only* pair.
+
+        ``write(1)`` and ``read -> 1`` commute forward — the read is
+        individually legal only when the state is already 1, and then the
+        write changes nothing — but not backward (write-then-read(1) is
+        legal from any state, while the swapped read is not).  Together
+        with the bank account this shows the two relations are
+        incomparable, as Weihl [16] proves.
+        """
+        register = RegisterType(initial=0)
+        operations = [RegWrite(1), RegWrite(2), RegRead()]
+        prefixes = exhaustive_prefixes(register, operations, 2)
+        pairs = [
+            (RegWrite(1), OK),
+            (RegWrite(2), OK),
+            (RegRead(), 0),
+            (RegRead(), 1),
+        ]
+        disagreements = forward_backward_disagreements(register, pairs, prefixes)
+        assert (
+            ((RegWrite(1), OK), (RegRead(), 1), "forward-only") in disagreements
+            or ((RegRead(), 1), (RegWrite(1), OK), "forward-only") in disagreements
+        )
+        # and no backward-only pairs for this type
+        assert all(which == "forward-only" for _, __, which in disagreements)
+
+    def test_counter_relations_coincide(self):
+        counter = CounterType()
+        operations = [CounterInc(1), CounterInc(-1), CounterRead()]
+        prefixes = exhaustive_prefixes(counter, operations, 2)
+        pairs = [(CounterInc(1), OK), (CounterInc(-1), OK), (CounterRead(), 0)]
+        assert forward_backward_disagreements(counter, pairs, prefixes) == []

@@ -1,0 +1,129 @@
+"""Tests for the small labelled digraph utility."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.graph import CycleError, Digraph
+
+
+def chain(n: int) -> Digraph:
+    graph: Digraph[int] = Digraph()
+    for i in range(n - 1):
+        graph.add_edge(i, i + 1)
+    return graph
+
+
+class TestBasics:
+    def test_nodes_and_edges(self):
+        graph: Digraph[str] = Digraph()
+        graph.add_edge("a", "b", "conflict")
+        graph.add_edge("a", "b", "precedes")
+        graph.add_node("c")
+        assert set(graph.nodes()) == {"a", "b", "c"}
+        assert graph.edge_count() == 1
+        assert graph.edge_labels("a", "b") == frozenset({"conflict", "precedes"})
+        assert graph.has_edge("a", "b")
+        assert not graph.has_edge("b", "a")
+        assert "c" in graph
+        assert len(graph) == 3
+
+    def test_successors_predecessors(self):
+        graph = chain(3)
+        assert graph.successors(0) == (1,)
+        assert graph.predecessors(2) == (1,)
+        assert graph.successors(2) == ()
+
+
+class TestCycles:
+    def test_acyclic_chain(self):
+        assert chain(10).is_acyclic()
+        assert chain(10).find_cycle() is None
+
+    def test_self_loop(self):
+        graph: Digraph[int] = Digraph()
+        graph.add_edge(1, 1)
+        cycle = graph.find_cycle()
+        assert cycle == [1, 1]
+
+    def test_simple_cycle(self):
+        graph = chain(4)
+        graph.add_edge(3, 0)
+        cycle = graph.find_cycle()
+        assert cycle is not None
+        assert cycle[0] == cycle[-1]
+        # all consecutive pairs are edges
+        for src, dst in zip(cycle, cycle[1:]):
+            assert graph.has_edge(src, dst)
+
+    def test_cycle_in_disconnected_component(self):
+        graph = chain(3)
+        graph.add_edge(10, 11)
+        graph.add_edge(11, 10)
+        assert not graph.is_acyclic()
+
+
+class TestToposort:
+    def test_respects_edges(self):
+        graph: Digraph[str] = Digraph()
+        graph.add_edge("a", "c")
+        graph.add_edge("b", "c")
+        graph.add_edge("c", "d")
+        order = graph.topological_sort()
+        assert order.index("a") < order.index("c") < order.index("d")
+        assert order.index("b") < order.index("c")
+
+    def test_raises_on_cycle(self):
+        graph = chain(3)
+        graph.add_edge(2, 0)
+        with pytest.raises(CycleError):
+            graph.topological_sort()
+
+    def test_isolated_nodes_included(self):
+        graph: Digraph[int] = Digraph()
+        graph.add_node(5)
+        assert graph.topological_sort() == [5]
+
+    @given(st.lists(st.tuples(st.integers(0, 8), st.integers(0, 8)), max_size=20))
+    def test_toposort_consistency(self, edges):
+        graph: Digraph[int] = Digraph()
+        for src, dst in edges:
+            graph.add_edge(src, dst)
+        try:
+            order = graph.topological_sort()
+        except CycleError as exc:
+            # the reported cycle must be a real cycle
+            cycle = exc.cycle
+            assert cycle[0] == cycle[-1]
+            for src, dst in zip(cycle, cycle[1:]):
+                assert graph.has_edge(src, dst)
+            return
+        position = {node: i for i, node in enumerate(order)}
+        for src, dst, _ in graph.edges():
+            assert position[src] < position[dst]
+
+
+class TestTraversal:
+    def test_reachable_from(self):
+        graph = chain(4)
+        assert graph.reachable_from(1) == {2, 3}
+        assert graph.reachable_from(3) == set()
+
+    def test_reachable_with_cycle_includes_start(self):
+        graph: Digraph[int] = Digraph()
+        graph.add_edge(0, 1)
+        graph.add_edge(1, 0)
+        assert graph.reachable_from(0) == {0, 1}
+
+    def test_subgraph(self):
+        graph = chain(5)
+        sub = graph.subgraph([1, 2, 3])
+        assert set(sub.nodes()) == {1, 2, 3}
+        assert sub.edge_count() == 2
+
+    def test_to_networkx(self):
+        graph: Digraph[str] = Digraph()
+        graph.add_edge("a", "b", "conflict")
+        nx_graph = graph.to_networkx()
+        assert nx_graph.has_edge("a", "b")
+        assert nx_graph.edges["a", "b"]["kinds"] == ["conflict"]

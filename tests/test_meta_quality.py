@@ -1,0 +1,95 @@
+"""Meta quality gates: docstrings everywhere public, determinism everywhere.
+
+These tests police the engineering claims the README makes — every
+public item is documented, and every simulation is reproducible from
+its seed.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import repro
+
+
+def _public_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        name = info.name
+        if any(part.startswith("_") for part in name.split(".")):
+            continue
+        yield importlib.import_module(name)
+
+
+class TestDocstrings:
+    def test_every_module_documented(self):
+        undocumented = [
+            module.__name__
+            for module in _public_modules()
+            if not (module.__doc__ or "").strip()
+        ]
+        assert undocumented == []
+
+    def test_every_public_class_and_function_documented(self):
+        missing = []
+        for module in _public_modules():
+            for name in getattr(module, "__all__", []):
+                obj = getattr(module, name, None)
+                if obj is None or not (inspect.isclass(obj) or inspect.isfunction(obj)):
+                    continue
+                if obj.__module__ != module.__name__:
+                    continue  # re-export; documented at its home
+                if not (inspect.getdoc(obj) or "").strip():
+                    missing.append(f"{module.__name__}.{name}")
+        assert missing == [], missing
+
+    def test_public_methods_documented(self):
+        """Spot-check the flagship classes' public methods."""
+        from repro import OnlineCertifier, SerializationGraph, SiblingOrder
+        from repro.core.correctness import Certificate
+
+        missing = []
+        for cls in (OnlineCertifier, SerializationGraph, SiblingOrder, Certificate):
+            for name, member in inspect.getmembers(cls, inspect.isfunction):
+                if name.startswith("_"):
+                    continue
+                if not (inspect.getdoc(member) or "").strip():
+                    missing.append(f"{cls.__name__}.{name}")
+        assert missing == [], missing
+
+
+class TestDeterminism:
+    def _run(self, seed):
+        from repro import (
+            AbortInjector,
+            MossRWLockingObject,
+            RandomPolicy,
+            WorkloadConfig,
+            certify,
+            generate_workload,
+            make_generic_system,
+            run_system,
+        )
+
+        system_type, programs = generate_workload(
+            WorkloadConfig(seed=seed, top_level=4, objects=3)
+        )
+        system = make_generic_system(system_type, programs, MossRWLockingObject)
+        policy = AbortInjector(RandomPolicy(seed), abort_rate=0.1, seed=seed)
+        result = run_system(
+            system, policy, system_type, max_steps=5000, resolve_deadlocks=True
+        )
+        certificate = certify(result.behavior, system_type)
+        return result.behavior, certificate
+
+    def test_identical_runs_and_witnesses(self):
+        behavior1, certificate1 = self._run(17)
+        behavior2, certificate2 = self._run(17)
+        assert behavior1 == behavior2
+        assert certificate1.witness == certificate2.witness
+        assert list(certificate1.graph.edges()) == list(certificate2.graph.edges())
+
+    def test_different_seeds_differ(self):
+        behavior1, _ = self._run(17)
+        behavior2, _ = self._run(18)
+        assert behavior1 != behavior2

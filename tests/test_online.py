@@ -1,0 +1,173 @@
+"""Tests for the online (incremental) certifier.
+
+The headline property: after any fed prefix, the online verdict equals
+the batch certifier's verdict on that prefix — including the
+non-monotone ARV dynamics where a late commit makes an earlier
+operation visible and flips the legality of operations after it.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    Commit,
+    OnlineCertifier,
+    certify,
+    serial_projection,
+)
+
+from conftest import (
+    BehaviorBuilder,
+    T,
+    blind_write_cycle_behavior,
+    dirty_read_behavior,
+    lost_update_behavior,
+    rw_system,
+    serial_two_txn_behavior,
+)
+from test_core_properties import random_simple_behavior
+
+
+def batch_verdict(prefix, system):
+    certificate = certify(prefix, system, construct_witness=False)
+    return (
+        certificate.certified,
+        certificate.has_appropriate_return_values,
+        certificate.graph_is_acyclic,
+    )
+
+
+class TestScenarios:
+    def test_serial_certified(self):
+        behavior, system = serial_two_txn_behavior()
+        verdict = OnlineCertifier(system).feed_all(behavior)
+        assert verdict.certified
+
+    def test_lost_update_cycle_detected(self):
+        behavior, system = lost_update_behavior()
+        verdict = OnlineCertifier(system).feed_all(behavior)
+        assert not verdict.certified
+        assert verdict.cycle is not None
+
+    def test_dirty_read_arv_detected(self):
+        behavior, system = dirty_read_behavior()
+        verdict = OnlineCertifier(system).feed_all(behavior)
+        assert not verdict.certified
+        assert verdict.arv_violations
+
+    def test_blind_write_cycle_detected(self):
+        behavior, system = blind_write_cycle_behavior()
+        verdict = OnlineCertifier(system).feed_all(behavior)
+        assert verdict.cycle is not None
+
+    def test_cycle_latches(self):
+        behavior, system = lost_update_behavior()
+        certifier = OnlineCertifier(system)
+        certifier.feed_all(behavior)
+        first = certifier.verdict().cycle
+        # feeding more unrelated actions never clears the cycle
+        b = BehaviorBuilder(system)
+        t3 = b.begin_top("t3")
+        b.commit(t3)
+        for action in b.build():
+            certifier.feed(action)
+        assert certifier.verdict().cycle == first
+
+    def test_arv_violation_can_heal(self):
+        """A read of an uncommitted write is an ARV violation *until* the
+        writer's chain commits and the write becomes visible before it."""
+        system = rw_system("x")
+        b = BehaviorBuilder(system)
+        t1, t2 = b.begin_top("t1"), b.begin_top("t2")
+        writer = b.write(t1, "w", "x", 5)  # access commits; t1 does not yet
+        b.read(t2, "r", "x", 5)
+        b.commit(t2)
+        certifier = OnlineCertifier(system)
+        certifier.feed_all(b.build())
+        assert certifier.verdict().arv_violations  # writer invisible: read of 5 illegal
+        certifier.feed(Commit(t1))  # now the write precedes the read, visibly
+        verdict = certifier.verdict()
+        assert not verdict.arv_violations
+
+    def test_informs_ignored(self):
+        from repro import InformCommit, ObjectName
+
+        system = rw_system("x")
+        certifier = OnlineCertifier(system)
+        certifier.feed(InformCommit(ObjectName("x"), T("t")))
+        assert certifier.verdict().certified
+
+
+class TestEquivalenceWithBatch:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 100_000))
+    def test_matches_batch_on_every_prefix(self, seed):
+        behavior, system = random_simple_behavior(seed, steps=35)
+        certifier = OnlineCertifier(system)
+        for cut, action in enumerate(behavior, start=1):
+            certifier.feed(action)
+            online = certifier.verdict()
+            certified, arv_ok, acyclic = batch_verdict(behavior[:cut], system)
+            assert online.certified == certified, (seed, cut)
+            assert (not online.arv_violations) == arv_ok, (seed, cut)
+            assert (online.cycle is None) == acyclic, (seed, cut)
+
+    def test_matches_batch_on_driver_run(self):
+        from repro import (
+            EagerInformPolicy,
+            MossRWLockingObject,
+            WorkloadConfig,
+            generate_workload,
+            make_generic_system,
+            run_system,
+        )
+
+        system_type, programs = generate_workload(
+            WorkloadConfig(seed=5, top_level=4, objects=3)
+        )
+        system = make_generic_system(system_type, programs, MossRWLockingObject)
+        result = run_system(
+            system, EagerInformPolicy(seed=5), system_type, resolve_deadlocks=True
+        )
+        certifier = OnlineCertifier(system_type)
+        verdict = certifier.feed_all(result.behavior)
+        assert verdict.certified
+        assert certify(result.behavior, system_type).certified
+
+
+class TestEquivalenceOnDriverStreams:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_batch_on_aborting_nested_runs(self, seed):
+        from repro import (
+            AbortInjector,
+            MossRWLockingObject,
+            RandomPolicy,
+            WorkloadConfig,
+            generate_workload,
+            make_generic_system,
+            run_system,
+        )
+
+        system_type, programs = generate_workload(
+            WorkloadConfig(
+                seed=seed, top_level=4, objects=2, max_depth=3,
+                subtransaction_probability=0.5,
+            )
+        )
+        system = make_generic_system(system_type, programs, MossRWLockingObject)
+        policy = AbortInjector(RandomPolicy(seed), abort_rate=0.15, seed=seed)
+        result = run_system(
+            system, policy, system_type, max_steps=4000, resolve_deadlocks=True
+        )
+        certifier = OnlineCertifier(system_type)
+        for cut, action in enumerate(result.behavior, start=1):
+            certifier.feed(action)
+            if cut % 11 == 0 or cut == len(result.behavior):
+                online = certifier.verdict()
+                certified, arv_ok, acyclic = batch_verdict(
+                    result.behavior[:cut], system_type
+                )
+                assert online.certified == certified, (seed, cut)
+                assert (not online.arv_violations) == arv_ok, (seed, cut)
+                assert (online.cycle is None) == acyclic, (seed, cut)

@@ -1,0 +1,78 @@
+"""Tests for OrphanFreePolicy — limiting wasted orphan work."""
+
+from repro import (
+    AbortInjector,
+    Create,
+    MossRWLockingObject,
+    OrphanFreePolicy,
+    RandomPolicy,
+    WorkloadConfig,
+    certify,
+    generate_workload,
+    make_generic_system,
+    run_system,
+)
+from repro.core import StatusIndex, serial_projection
+
+
+def run(seed, orphan_free: bool):
+    system_type, programs = generate_workload(
+        WorkloadConfig(
+            seed=seed, top_level=5, objects=2, max_depth=2,
+            subtransaction_probability=0.6,
+        )
+    )
+    system = make_generic_system(system_type, programs, MossRWLockingObject)
+    policy = AbortInjector(RandomPolicy(seed), abort_rate=0.25, seed=seed)
+    if orphan_free:
+        policy = OrphanFreePolicy(policy)
+    result = run_system(
+        system, policy, system_type, max_steps=6000, resolve_deadlocks=True
+    )
+    return result, system_type, policy
+
+
+def orphan_creates(behavior):
+    """CREATE events performed on behalf of already-aborted ancestors."""
+    aborted = set()
+    count = 0
+    from repro import Abort
+
+    for action in behavior:
+        if isinstance(action, Abort):
+            aborted.add(action.transaction)
+        elif isinstance(action, Create):
+            if any(a.is_ancestor_of(action.transaction) for a in aborted):
+                count += 1
+    return count
+
+
+class TestOrphanFreePolicy:
+    def test_never_creates_orphans(self):
+        for seed in range(6):
+            result, system_type, policy = run(seed, orphan_free=True)
+            assert orphan_creates(result.behavior) == 0, seed
+            certificate = certify(result.behavior, system_type)
+            assert certificate.certified, certificate.explain()
+
+    def test_baseline_does_create_orphans(self):
+        # without the filter, at least one seed exhibits orphan work
+        total = sum(
+            orphan_creates(run(seed, orphan_free=False)[0].behavior)
+            for seed in range(6)
+        )
+        assert total > 0
+
+    def test_filter_counter_advances(self):
+        filtered = 0
+        for seed in range(6):
+            _, _, policy = run(seed, orphan_free=True)
+            filtered += policy.filtered_out
+        assert filtered > 0
+
+    def test_correctness_unaffected_either_way(self):
+        # orphans running or not, Theorem 17 holds
+        for seed in range(4):
+            for orphan_free in (False, True):
+                result, system_type, _ = run(seed, orphan_free=orphan_free)
+                assert certify(result.behavior, system_type).certified

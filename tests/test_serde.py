@@ -1,0 +1,188 @@
+"""Tests for JSON serialization of behaviors and system types."""
+
+import pytest
+
+from repro import (
+    InformAbort,
+    InformCommit,
+    ObjectName,
+    dump_case,
+    load_case,
+)
+from repro.core.serde import (
+    behavior_from_json,
+    behavior_to_json,
+    system_type_from_json,
+    system_type_to_json,
+)
+
+from conftest import T, rw_system, serial_two_txn_behavior
+
+
+class TestBehaviorRoundTrip:
+    def test_serial_behavior(self):
+        behavior, _ = serial_two_txn_behavior()
+        assert behavior_from_json(behavior_to_json(behavior)) == behavior
+
+    def test_informs(self):
+        behavior = (
+            InformCommit(ObjectName("x"), T("t")),
+            InformAbort(ObjectName("y"), T("t", "u")),
+        )
+        assert behavior_from_json(behavior_to_json(behavior)) == behavior
+
+    def test_values_varieties(self):
+        from repro import RequestCommit, ReportCommit
+
+        behavior = (
+            RequestCommit(T("a"), None),
+            RequestCommit(T("b"), 3.5),
+            RequestCommit(T("c"), True),
+            RequestCommit(T("d"), ("tu", ("ple", 1))),
+            RequestCommit(T("e"), frozenset({1, 2})),
+            ReportCommit(T("a"), None),
+        )
+        assert behavior_from_json(behavior_to_json(behavior)) == behavior
+
+    def test_unencodable_value_rejected(self):
+        from repro import RequestCommit
+
+        class Weird:
+            __hash__ = object.__hash__
+
+        with pytest.raises(TypeError):
+            behavior_to_json((RequestCommit(T("a"), Weird()),))
+
+
+class TestSystemTypeRoundTrip:
+    def test_rw_system(self):
+        behavior, system = serial_two_txn_behavior()
+        restored = system_type_from_json(system_type_to_json(system))
+        assert restored.object_names() == system.object_names()
+        assert restored.all_accesses() == system.all_accesses()
+        assert restored.spec(ObjectName("x")).initial == 0
+
+    def test_all_builtin_types(self):
+        from repro import Access, SystemType
+        from repro.spec.builtin import (
+            BalanceRead,
+            BankAccountType,
+            CounterInc,
+            CounterType,
+            Dequeue,
+            Enqueue,
+            QueueType,
+            RegisterType,
+            RegWrite,
+            SetInsert,
+            SetType,
+        )
+
+        system = SystemType(
+            {
+                ObjectName("reg"): RegisterType(initial=0),
+                ObjectName("ctr"): CounterType(initial=5),
+                ObjectName("set"): SetType(initial=frozenset({1})),
+                ObjectName("acct"): BankAccountType(initial=100),
+                ObjectName("q"): QueueType(initial=("a",)),
+            }
+        )
+        system.register_access(T("t", "a"), Access(ObjectName("reg"), RegWrite(3)))
+        system.register_access(T("t", "b"), Access(ObjectName("ctr"), CounterInc(2)))
+        system.register_access(T("t", "c"), Access(ObjectName("set"), SetInsert(7)))
+        system.register_access(T("t", "d"), Access(ObjectName("acct"), BalanceRead()))
+        system.register_access(T("t", "e"), Access(ObjectName("q"), Enqueue("z")))
+        system.register_access(T("t", "f"), Access(ObjectName("q"), Dequeue()))
+        restored = system_type_from_json(system_type_to_json(system))
+        assert restored.all_accesses() == system.all_accesses()
+        assert restored.spec(ObjectName("set")).initial == frozenset({1})
+        assert restored.spec(ObjectName("q")).initial == ("a",)
+
+    def test_unknown_spec_rejected(self):
+        from repro import SystemType
+
+        system = SystemType({ObjectName("x"): object()})
+        with pytest.raises(TypeError):
+            system_type_to_json(system)
+
+
+class TestCaseRoundTrip:
+    def test_dump_and_load(self):
+        behavior, system = serial_two_txn_behavior()
+        text = dump_case(behavior, system)
+        restored_behavior, restored_system = load_case(text)
+        assert restored_behavior == behavior
+        assert restored_system.all_accesses() == system.all_accesses()
+
+    def test_certification_survives_round_trip(self):
+        from repro import certify
+
+        behavior, system = serial_two_txn_behavior()
+        restored_behavior, restored_system = load_case(dump_case(behavior, system))
+        assert certify(restored_behavior, restored_system).certified
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(ValueError):
+            load_case('{"format": "nope"}')
+
+    def test_driver_run_round_trip(self):
+        from repro import (
+            EagerInformPolicy,
+            UndoLoggingObject,
+            CounterKind,
+            WorkloadConfig,
+            certify,
+            generate_workload,
+            make_generic_system,
+            run_system,
+        )
+
+        system_type, programs = generate_workload(
+            WorkloadConfig(seed=9, top_level=3, objects=2, kind=CounterKind())
+        )
+        system = make_generic_system(system_type, programs, UndoLoggingObject)
+        result = run_system(system, EagerInformPolicy(seed=9), system_type)
+        behavior, restored = load_case(dump_case(result.behavior, system_type))
+        assert behavior == result.behavior
+        assert certify(behavior, restored).certified
+
+
+class TestPropertyRoundTrip:
+    def test_random_simple_behaviors_round_trip(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        from test_core_properties import random_simple_behavior
+
+        @settings(max_examples=30, deadline=None)
+        @given(st.integers(0, 100_000))
+        def inner(seed):
+            behavior, system = random_simple_behavior(seed)
+            restored_behavior, restored_system = load_case(
+                dump_case(behavior, system)
+            )
+            assert restored_behavior == behavior
+            assert restored_system.all_accesses() == system.all_accesses()
+            from repro import certify
+
+            original = certify(behavior, system, construct_witness=False)
+            replayed = certify(
+                restored_behavior, restored_system, construct_witness=False
+            )
+            assert original.certified == replayed.certified
+
+        inner()
+
+
+class TestMapTypeRoundTrip:
+    def test_map_spec_and_ops(self):
+        from repro import Access, SystemType
+        from repro.spec.builtin import MapGet, MapPut, MapRemove, MapType
+
+        system = SystemType({ObjectName("m"): MapType(initial={"a": 1})})
+        system.register_access(T("t", "p"), Access(ObjectName("m"), MapPut("b", 2)))
+        system.register_access(T("t", "g"), Access(ObjectName("m"), MapGet("a")))
+        system.register_access(T("t", "r"), Access(ObjectName("m"), MapRemove("a")))
+        restored = system_type_from_json(system_type_to_json(system))
+        assert restored.all_accesses() == system.all_accesses()
+        assert restored.spec(ObjectName("m")).result_of((), MapGet("a")) == 1
