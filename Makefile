@@ -1,6 +1,6 @@
 # Convenience targets for the repro library.
 
-.PHONY: install test bench examples scenarios all
+.PHONY: install test bench examples scenarios trace-demo ci all
 
 install:
 	pip install -e . || python setup.py develop
@@ -20,5 +20,14 @@ examples:
 
 scenarios:
 	python -m repro scenarios
+
+# Run a seeded workload under full tracing/metrics; see docs/OBSERVABILITY.md
+trace-demo:
+	PYTHONPATH=src python -m repro trace --seed 7 --out trace-demo.jsonl --online
+	@echo "trace: trace-demo.jsonl  metrics: trace-demo.jsonl.metrics.json"
+
+# Mirror the GitHub Actions CI job locally
+ci:
+	PYTHONPATH=src python -m pytest -x -q
 
 all: test bench examples

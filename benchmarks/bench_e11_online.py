@@ -15,10 +15,12 @@ from pathlib import Path
 import pytest
 
 sys.path.insert(0, str(Path(__file__).parent))
+from _obs import write_bench_json
 from _tables import print_table
 
 from repro import (
     EagerInformPolicy,
+    MetricsRegistry,
     MossRWLockingObject,
     OnlineCertifier,
     WorkloadConfig,
@@ -46,14 +48,24 @@ def make_stream(top_level: int, objects: int, seed: int = 0):
 
 def run_comparison():
     rows = []
+    cost_report = {}
     for top_level, objects in [(8, 4), (16, 8), (32, 8), (64, 16)]:
         behavior, system_type = make_stream(top_level, objects)
+        # metrics-only instrumentation: counts the online certifier's
+        # cost drivers (insertions, suffix re-evaluations, edges) without
+        # span overhead in the timed loop
+        registry = MetricsRegistry()
         start = time.perf_counter()
-        certifier = OnlineCertifier(system_type)
+        certifier = OnlineCertifier(system_type, metrics=registry)
         for action in behavior:
             certifier.feed(action)
         online_seconds = time.perf_counter() - start
         online_verdict = certifier.verdict()
+        cost_report[f"top{top_level}_obj{objects}"] = {
+            "events": len(behavior),
+            "online_seconds": online_seconds,
+            "counters": registry.snapshot()["counters"],
+        }
 
         start = time.perf_counter()
         batch = certify(behavior, system_type, construct_witness=False)
@@ -77,6 +89,7 @@ def run_comparison():
                 f"{per_event_batch_estimate / max(online_seconds, 1e-9):.0f}x",
             )
         )
+    write_bench_json("e11_online_cost", cost_report)
     return rows
 
 

@@ -12,6 +12,7 @@ from pathlib import Path
 import pytest
 
 sys.path.insert(0, str(Path(__file__).parent))
+from _obs import instrumented_run, phase_totals, write_bench_json
 from _tables import print_table
 
 from repro import (
@@ -66,4 +67,50 @@ def test_e6_sg_construction_scaling(benchmark, behaviors, case):
         f"(top={case[0]}, objects={case[1]})",
         ["events", "accesses", "objects"],
         [(len(serial), len(system_type.all_accesses()), case[1])],
+    )
+
+
+@pytest.mark.benchmark(group="e6")
+def test_e6_phase_breakdown(benchmark, behaviors):
+    """One traced build per case: where SG construction time actually goes.
+
+    Writes ``BENCH_e6_phases.json`` with per-case phase timings (seed
+    nodes / conflict enumeration / precedes enumeration) so regressions
+    can be localised to a phase, not just seen in the total.
+    """
+
+    def breakdown():
+        report = {}
+        rows = []
+        for case, (serial, system_type) in behaviors.items():
+            _, registry, spans = instrumented_run(
+                lambda tracer, metrics: build_serialization_graph(
+                    serial, system_type, tracer=tracer, metrics=metrics
+                )
+            )
+            phases = phase_totals(spans, prefix="sg.")
+            snapshot = registry.snapshot()
+            label = f"top{case[0]}_obj{case[1]}"
+            report[label] = {
+                "events": len(serial),
+                "phases_seconds": phases,
+                "gauges": snapshot["gauges"],
+            }
+            rows.append(
+                (
+                    label,
+                    len(serial),
+                    f"{phases.get('sg.conflict_pairs', 0.0) * 1e3:.2f}",
+                    f"{phases.get('sg.precedes_pairs', 0.0) * 1e3:.2f}",
+                    int(snapshot["gauges"].get("sg.edges", 0)),
+                )
+            )
+        return report, rows
+
+    report, rows = benchmark.pedantic(breakdown, rounds=1, iterations=1)
+    path = write_bench_json("e6_phases", report)
+    print_table(
+        f"E6: per-phase SG construction timings (written to {path.name})",
+        ["case", "events", "conflict (ms)", "precedes (ms)", "edges"],
+        rows,
     )

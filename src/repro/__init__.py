@@ -91,6 +91,20 @@ from .core import (
     dump_case,
     load_case,
 )
+from .obs import (
+    NULL_TRACER,
+    JSONLFileSink,
+    LoggingSink,
+    MetricsHooks,
+    MetricsRegistry,
+    NullTracer,
+    ObsHooks,
+    RingBufferSink,
+    Span,
+    Tracer,
+    load_jsonl_trace,
+    span_coverage,
+)
 from .report import (
     behavior_summary,
     certificate_report,

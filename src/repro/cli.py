@@ -1,21 +1,29 @@
-"""Command-line interface: record runs, audit recorded behaviors.
+"""Command-line interface: record runs, audit recorded behaviors, trace.
 
-Three subcommands::
+Subcommands::
 
     python -m repro demo   [--algorithm moss|undo] [--seed N]
     python -m repro record [--algorithm moss|undo] [--seed N] -o run.json
     python -m repro audit  run.json [--dot graph.dot] [--oracle]
+    python -m repro trace  [--seed N] --out trace.jsonl
 
 ``record`` simulates a nested-transaction workload and writes the
 (behavior, system type) pair as JSON; ``audit`` re-checks any such file
 with the serialization-graph certifier, optionally cross-examining with
 the brute-force oracle and exporting the graph as Graphviz DOT.  The
 audit exit status is 0 when certified, 2 when not.
+
+``trace`` runs a fully instrumented workload + certification, writing a
+JSONL span trace plus a metrics snapshot (see ``docs/OBSERVABILITY.md``
+for the schema); ``demo``/``record``/``audit`` accept ``--metrics-json``
+for the snapshot alone, and ``demo`` additionally ``--stats-json`` for
+the raw run counters.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import Optional, Sequence
@@ -25,6 +33,7 @@ from .core.oracle import oracle_serially_correct
 from .core.serde import dump_case, load_case
 from .generic.system import make_generic_system
 from .locking.moss import MossRWLockingObject
+from .obs import MetricsHooks, MetricsRegistry
 from .report import certificate_report, serialization_graph_to_dot
 from .sim.driver import run_system
 from .sim.faults import AbortInjector
@@ -35,7 +44,22 @@ from .undo.logging import UndoLoggingObject
 __all__ = ["main"]
 
 
-def _build_run(args: argparse.Namespace):
+def _make_registry(args: argparse.Namespace) -> Optional[MetricsRegistry]:
+    """A metrics registry when any metrics output was requested."""
+    if getattr(args, "metrics_json", None):
+        return MetricsRegistry()
+    return None
+
+
+def _write_metrics(registry: Optional[MetricsRegistry],
+                   args: argparse.Namespace) -> None:
+    path = getattr(args, "metrics_json", None)
+    if registry is not None and path:
+        registry.write_json(path)
+        print(f"metrics snapshot written to {path}")
+
+
+def _build_run(args: argparse.Namespace, hooks=None):
     if args.algorithm == "moss":
         kind, factory = RWKind(), MossRWLockingObject
     elif args.algorithm == "read-update":
@@ -52,7 +76,7 @@ def _build_run(args: argparse.Namespace):
         kind=kind,
     )
     system_type, programs = generate_workload(config)
-    system = make_generic_system(system_type, programs, factory)
+    system = make_generic_system(system_type, programs, factory, hooks=hooks)
     policy = EagerInformPolicy(seed=args.seed)
     if args.abort_rate > 0:
         policy = AbortInjector(
@@ -64,6 +88,7 @@ def _build_run(args: argparse.Namespace):
         system_type,
         max_steps=args.max_steps,
         resolve_deadlocks=True,
+        hooks=hooks,
     )
     return result, system_type
 
@@ -86,8 +111,15 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
-    result, system_type = _build_run(args)
+    registry = _make_registry(args)
+    hooks = MetricsHooks(registry) if registry is not None else None
+    result, system_type = _build_run(args, hooks=hooks)
     print(f"run: {result.stats.summary()}\n")
+    if args.stats_json:
+        Path(args.stats_json).write_text(
+            json.dumps(result.stats.to_dict(), indent=2) + "\n"
+        )
+        print(f"run stats written to {args.stats_json}")
     if args.tree:
         from .core.names import ROOT
         from .sim.analysis import analyze_trace
@@ -101,18 +133,22 @@ def _cmd_demo(args: argparse.Namespace) -> int:
             print(f"mean access latency: {latency:.1f} events\n")
         else:
             print()
-    certificate = certify(result.behavior, system_type)
+    certificate = certify(result.behavior, system_type, metrics=registry)
     print(certificate_report(certificate, result.behavior, system_type,
                              witness_preview=args.witness))
+    _write_metrics(registry, args)
     return 0 if certificate.certified else 2
 
 
 def _cmd_record(args: argparse.Namespace) -> int:
-    result, system_type = _build_run(args)
+    registry = _make_registry(args)
+    hooks = MetricsHooks(registry) if registry is not None else None
+    result, system_type = _build_run(args, hooks=hooks)
     text = dump_case(result.behavior, system_type)
     Path(args.output).write_text(text)
     print(f"recorded {len(result.behavior)} events to {args.output}")
     print(f"run: {result.stats.summary()}")
+    _write_metrics(registry, args)
     return 0
 
 
@@ -128,10 +164,11 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     except (ValueError, KeyError) as exc:
         print(f"{path} is not a valid repro case: {exc}", file=sys.stderr)
         return 1
+    registry = _make_registry(args)
     if args.engine == "online":
         from .core.online import OnlineCertifier
 
-        verdict = OnlineCertifier(system_type).feed_all(behavior)
+        verdict = OnlineCertifier(system_type, metrics=registry).feed_all(behavior)
         print(
             "CERTIFIED (online engine)"
             if verdict.certified
@@ -143,8 +180,10 @@ def _cmd_audit(args: argparse.Namespace) -> int:
             parent, nodes = verdict.cycle
             print(f"  SG cycle under {parent}: "
                   + " -> ".join(str(n) for n in nodes))
+        _write_metrics(registry, args)
         return 0 if verdict.certified else 2
-    certificate = certify(behavior, system_type, validate_input=True)
+    certificate = certify(behavior, system_type, validate_input=True,
+                          metrics=registry)
     print(certificate_report(certificate, behavior, system_type,
                              witness_preview=args.witness))
     if args.dot:
@@ -161,6 +200,50 @@ def _cmd_audit(args: argparse.Namespace) -> int:
             + ("serially correct despite rejection (sufficiency gap)"
                if verdict else "no serial witness found")
         )
+    _write_metrics(registry, args)
+    return 0 if certificate.certified else 2
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .obs import JSONLFileSink, RingBufferSink, Tracer, span_coverage
+
+    registry = MetricsRegistry()
+    ring = RingBufferSink()
+    tracer = Tracer(ring, JSONLFileSink(args.out), metrics=registry)
+    hooks = MetricsHooks(registry, tracer)
+    with tracer.span("trace", seed=args.seed, algorithm=args.algorithm):
+        with tracer.span("simulate"):
+            result, system_type = _build_run(args, hooks=hooks)
+        certificate = certify(
+            result.behavior, system_type, tracer=tracer, metrics=registry
+        )
+        if args.online:
+            from .core.online import OnlineCertifier
+
+            online = OnlineCertifier(
+                system_type, tracer=tracer, metrics=registry
+            )
+            with tracer.span("online.feed_all", events=len(result.behavior)):
+                online_verdict = online.feed_all(result.behavior)
+            if online_verdict.certified != certificate.certified:
+                print("WARNING: online and batch verdicts disagree",
+                      file=sys.stderr)
+    coverage = span_coverage(ring.spans(), "certify")
+    registry.set_gauge(
+        "trace.certify_coverage", round(coverage, 4) if coverage is not None else 0
+    )
+    tracer.close()
+    metrics_path = args.metrics_json or f"{args.out}.metrics.json"
+    registry.write_json(metrics_path)
+    print(f"run: {result.stats.summary()}")
+    print(
+        "CERTIFIED" if certificate.certified else "NOT certified",
+        f"({len(result.behavior)} events)",
+    )
+    print(f"trace: {len(ring)} spans written to {args.out}")
+    print(f"metrics snapshot written to {metrics_path}")
+    if coverage is not None:
+        print(f"certify phase coverage: {coverage:.1%} of certify wall time")
     return 0 if certificate.certified else 2
 
 
@@ -200,12 +283,31 @@ def build_parser() -> argparse.ArgumentParser:
                       help="preview this many witness events")
     demo.add_argument("--tree", action="store_true",
                       help="print the transaction tree with outcomes/latencies")
+    demo.add_argument("--stats-json", metavar="PATH",
+                      help="write the run statistics as JSON")
+    demo.add_argument("--metrics-json", metavar="PATH",
+                      help="write a metrics snapshot as JSON")
     demo.set_defaults(func=_cmd_demo)
 
     record = subparsers.add_parser("record", help="simulate and save a run as JSON")
     _add_run_options(record)
     record.add_argument("-o", "--output", required=True, help="output JSON path")
+    record.add_argument("--metrics-json", metavar="PATH",
+                        help="write a metrics snapshot as JSON")
     record.set_defaults(func=_cmd_record)
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="simulate + certify a workload with full tracing/metrics",
+    )
+    _add_run_options(trace)
+    trace.add_argument("--out", required=True, metavar="PATH",
+                       help="JSONL span-trace output path")
+    trace.add_argument("--metrics-json", metavar="PATH",
+                       help="metrics snapshot path (default: OUT.metrics.json)")
+    trace.add_argument("--online", action="store_true",
+                       help="additionally stream through the online certifier")
+    trace.set_defaults(func=_cmd_trace)
 
     audit = subparsers.add_parser("audit", help="certify a recorded run")
     audit.add_argument("case", help="JSON file produced by 'record'")
@@ -218,6 +320,8 @@ def build_parser() -> argparse.ArgumentParser:
     audit.add_argument("--engine", choices=("batch", "online"), default="batch",
                        help="batch (full certificate + witness) or online "
                             "(incremental verdict)")
+    audit.add_argument("--metrics-json", metavar="PATH",
+                       help="write a metrics snapshot as JSON")
     audit.set_defaults(func=_cmd_audit)
 
     scenarios = subparsers.add_parser(

@@ -23,6 +23,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracer import NULL_TRACER, Tracer
 from .actions import (
     Abort,
     Action,
@@ -111,6 +113,8 @@ def certify(
     system_type: SystemType,
     construct_witness: bool = True,
     validate_input: bool = False,
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> Certificate:
     """Apply Theorem 8/19 to (the serial projection of) ``behavior``.
 
@@ -123,47 +127,78 @@ def certify(
     the theorems presuppose (Section 2.3.1); violations are reported in
     ``input_problems`` and make the certificate non-certified — a
     malformed log deserves a diagnosis, not a verdict.
-    """
-    serial = serial_projection(behavior)
-    index = StatusIndex(serial)
-    input_problems: List[str] = []
-    if validate_input:
-        # imported lazily: the simple database lives one layer above core
-        from ..serial.simple_db import check_simple_behavior
 
-        input_problems = check_simple_behavior(serial, system_type)
-        if input_problems:
-            return Certificate(
-                False,
-                [],
-                None,
-                SerializationGraph(),
-                input_problems=input_problems,
+    ``tracer`` wraps the run in a ``certify`` span whose children cover
+    the phases (projection, input validation, ARV check, graph build,
+    cycle search, witness); ``metrics`` gains phase gauges/counters.
+    Both default to no-ops with ~zero overhead.
+    """
+    tracer = tracer if tracer is not None else NULL_TRACER
+    with tracer.span("certify", events=len(behavior)):
+        with tracer.span("certify.project"):
+            serial = serial_projection(behavior)
+            index = StatusIndex(serial)
+        input_problems: List[str] = []
+        if validate_input:
+            # imported lazily: the simple database lives one layer above core
+            from ..serial.simple_db import check_simple_behavior
+
+            with tracer.span("certify.validate_input"):
+                input_problems = check_simple_behavior(serial, system_type)
+            if input_problems:
+                if metrics is not None:
+                    metrics.inc("certify.runs")
+                    metrics.inc("certify.rejected")
+                    metrics.inc("certify.rejected.malformed_input")
+                return Certificate(
+                    False,
+                    [],
+                    None,
+                    SerializationGraph(),
+                    input_problems=input_problems,
+                )
+        with tracer.span("certify.arv"):
+            arv_violations = check_appropriate_return_values(
+                serial, system_type, index
             )
-    arv_violations = check_appropriate_return_values(serial, system_type, index)
-    graph = build_serialization_graph(serial, system_type, index)
-    cycle = graph.find_cycle()
-    certified = not arv_violations and cycle is None
-    certificate = Certificate(certified, arv_violations, cycle, graph)
-    if certified and construct_witness:
-        order = graph.to_sibling_order()
-        certificate.order = order
-        try:
-            witness = build_witness(serial, system_type, order, index)
-            certificate.witness_problems = validate_serial_behavior(
-                witness, system_type
+        with tracer.span("certify.build_graph"):
+            graph = build_serialization_graph(
+                serial, system_type, index, tracer=tracer, metrics=metrics
             )
-            if not certificate.witness_problems:
-                for transaction in _visible_transactions(index):
-                    if project_transaction(witness, transaction) != project_transaction(
-                        serial, transaction
-                    ):
-                        certificate.witness_problems.append(
-                            f"witness projection differs at {transaction}"
-                        )
-            certificate.witness = witness
-        except WitnessError as exc:
-            certificate.witness_problems = [str(exc)]
+        with tracer.span("certify.find_cycle"):
+            cycle = graph.find_cycle()
+        certified = not arv_violations and cycle is None
+        certificate = Certificate(certified, arv_violations, cycle, graph)
+        if metrics is not None:
+            metrics.inc("certify.runs")
+            metrics.inc(
+                "certify.certified" if certified else "certify.rejected"
+            )
+            metrics.set_gauge("certify.arv_violations", len(arv_violations))
+        if certified and construct_witness:
+            with tracer.span("certify.witness"):
+                order = graph.to_sibling_order()
+                certificate.order = order
+                try:
+                    witness = build_witness(serial, system_type, order, index)
+                    certificate.witness_problems = validate_serial_behavior(
+                        witness, system_type
+                    )
+                    if not certificate.witness_problems:
+                        for transaction in _visible_transactions(index):
+                            if project_transaction(
+                                witness, transaction
+                            ) != project_transaction(serial, transaction):
+                                certificate.witness_problems.append(
+                                    f"witness projection differs at {transaction}"
+                                )
+                    certificate.witness = witness
+                except WitnessError as exc:
+                    certificate.witness_problems = [str(exc)]
+            if metrics is not None and certificate.witness is not None:
+                metrics.set_gauge(
+                    "certify.witness_events", len(certificate.witness)
+                )
     return certificate
 
 

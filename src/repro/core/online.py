@@ -27,6 +27,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracer import Tracer
 from .actions import (
     Abort,
     Action,
@@ -77,10 +79,26 @@ class _TrackedTxn:
 
 
 class OnlineCertifier:
-    """Feed serial actions; read back the Theorem 8/19 verdict anytime."""
+    """Feed serial actions; read back the Theorem 8/19 verdict anytime.
 
-    def __init__(self, system_type: SystemType) -> None:
+    ``tracer`` (optional) opens an ``online.feed`` span per consumed
+    action and an ``online.revalidate`` span around each late-commit
+    visibility insertion's suffix re-evaluation — the two hot paths a
+    streaming deployment needs to watch.  ``metrics`` (optional) counts
+    fed actions, visible insertions, revalidated suffix operations,
+    conflict/precedes edges and the cycle latch.  Both default to off
+    with a single ``None`` check of overhead per call.
+    """
+
+    def __init__(
+        self,
+        system_type: SystemType,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         self.system_type = system_type
+        self.tracer = tracer if tracer else None
+        self.metrics = metrics
         self._position = 0
         self._committed: Set[TransactionName] = set()
         self._aborted: Set[TransactionName] = set()
@@ -108,6 +126,15 @@ class OnlineCertifier:
         """Consume one action (non-serial actions are ignored)."""
         if not is_serial_action(action):
             return
+        if self.metrics is not None:
+            self.metrics.inc("online.actions")
+        if self.tracer is not None:
+            with self.tracer.span("online.feed", kind=type(action).__name__):
+                self._consume(action)
+        else:
+            self._consume(action)
+
+    def _consume(self, action: Action) -> None:
         position = self._position
         self._position += 1
         if isinstance(action, RequestCreate):
@@ -260,9 +287,26 @@ class OnlineCertifier:
             index += 1
         sequence.insert(index, tracked)
         self._legal[tracked.obj].insert(index, True)
-        self._revalidate(tracked.obj, index)
+        if self.metrics is not None:
+            self.metrics.inc("online.visible_insertions")
+            if index < len(sequence) - 1:
+                # a late commit landed mid-sequence: the non-monotone case
+                self.metrics.inc("online.midstream_insertions")
+        if self.tracer is not None:
+            with self.tracer.span(
+                "online.revalidate",
+                obj=str(tracked.obj),
+                suffix=len(sequence) - index,
+            ):
+                self._revalidate(tracked.obj, index)
+        else:
+            self._revalidate(tracked.obj, index)
 
     def _revalidate(self, obj: ObjectName, start: int) -> None:
+        if self.metrics is not None:
+            self.metrics.inc(
+                "online.revalidated_ops", len(self._visible[obj]) - start
+            )
         spec = self.system_type.spec(obj)
         state: Any = spec.initial
         # replay the stable prefix (values there are already validated,
@@ -325,7 +369,18 @@ class OnlineCertifier:
         group = self._graph.graph_for(edge.parent)
         had_edge = group.has_edge(edge.source, edge.target)
         self._graph.add_edge(edge)
+        if self.metrics is not None and not had_edge:
+            self.metrics.inc(
+                "online.edges.conflict"
+                if edge.kind == CONFLICT
+                else "online.edges.precedes"
+            )
         if self._cycle is None and not had_edge:
+            if self.metrics is not None:
+                self.metrics.inc("online.cycle_checks")
             cycle = group.find_cycle()
             if cycle is not None:
                 self._cycle = (edge.parent, cycle)
+                if self.metrics is not None:
+                    # the verdict is monotone: once latched, always cyclic
+                    self.metrics.inc("online.cycle_latched")

@@ -31,6 +31,8 @@ from .actions import (
     RequestCreate,
     is_report,
 )
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracer import NULL_TRACER, Tracer
 from .events import StatusIndex, visible_projection
 from .graph import CycleError, Digraph
 from .names import ROOT, ObjectName, SystemType, TransactionName, lca
@@ -231,6 +233,8 @@ def build_serialization_graph(
     behavior: Sequence[Action],
     system_type: SystemType,
     index: Optional[StatusIndex] = None,
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> SerializationGraph:
     """Construct ``SG(beta)`` from a sequence of serial actions.
 
@@ -238,14 +242,30 @@ def build_serialization_graph(
     a simple behavior directly.  Nodes are seeded with every child whose
     creation was requested under a parent visible to ``T0``, so that
     topological sorting yields an order covering all relevant siblings.
+
+    ``tracer`` adds sub-phase spans (node seeding, conflict and precedes
+    enumeration); ``metrics`` records node/edge gauges.  Both default to
+    no-ops.
     """
+    tracer = tracer if tracer is not None else NULL_TRACER
     index = index if index is not None else StatusIndex(behavior)
     sg = SerializationGraph()
-    for transaction in index.create_requested:
-        if index.is_visible(transaction.parent, ROOT):
-            sg.add_node(transaction)
-    for edge in conflict_pairs(behavior, system_type, index):
-        sg.add_edge(edge)
-    for edge in precedes_pairs(behavior, index):
-        sg.add_edge(edge)
+    with tracer.span("sg.seed_nodes"):
+        for transaction in index.create_requested:
+            if index.is_visible(transaction.parent, ROOT):
+                sg.add_node(transaction)
+    with tracer.span("sg.conflict_pairs", events=len(behavior)):
+        conflicts = conflict_pairs(behavior, system_type, index)
+        for edge in conflicts:
+            sg.add_edge(edge)
+    with tracer.span("sg.precedes_pairs"):
+        precedes = precedes_pairs(behavior, index)
+        for edge in precedes:
+            sg.add_edge(edge)
+    if metrics is not None:
+        metrics.set_gauge("sg.groups", len(sg.parents()))
+        metrics.set_gauge("sg.nodes", len(sg.nodes()))
+        metrics.set_gauge("sg.edges", sg.edge_count())
+        metrics.inc("sg.edges.conflict", len(conflicts))
+        metrics.inc("sg.edges.precedes", len(precedes))
     return sg

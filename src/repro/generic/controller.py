@@ -16,9 +16,10 @@ the model, is never useful to a simulation).
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, FrozenSet, Iterator, Tuple
+from typing import Any, Dict, FrozenSet, Iterator, Optional, Tuple
 
 from ..automata.base import IOAutomaton
+from ..obs.hooks import ObsHooks
 from ..core.actions import (
     Abort,
     Action,
@@ -67,8 +68,13 @@ class GenericController(IOAutomaton):
 
     name = "generic-controller"
 
-    def __init__(self, system_type: SystemType) -> None:
+    def __init__(
+        self, system_type: SystemType, hooks: Optional[ObsHooks] = None
+    ) -> None:
         self.system_type = system_type
+        # Optional observer of dispatch decisions (commit/abort/report/
+        # inform); ``None`` keeps ``effect`` observer-free.
+        self.hooks = hooks
         # Which objects care about a transaction's fate: those with an
         # access in its subtree.  The model permits informing any object
         # about any transaction (see ``enabled``), but enumerating only
@@ -155,12 +161,24 @@ class GenericController(IOAutomaton):
         if isinstance(action, Create):
             return replace(state, created=state.created | {action.transaction})
         if isinstance(action, Commit):
+            if self.hooks is not None:
+                self.hooks.on_commit(action.transaction)
             return replace(state, committed=state.committed | {action.transaction})
         if isinstance(action, Abort):
+            if self.hooks is not None:
+                self.hooks.on_abort(action.transaction)
             return replace(state, aborted=state.aborted | {action.transaction})
         if isinstance(action, (ReportCommit, ReportAbort)):
+            if self.hooks is not None:
+                self.hooks.on_report(
+                    action.transaction, isinstance(action, ReportCommit)
+                )
             return replace(state, reported=state.reported | {action.transaction})
         if isinstance(action, (InformCommit, InformAbort)):
+            if self.hooks is not None:
+                self.hooks.on_inform(
+                    action.obj, action.transaction, isinstance(action, InformCommit)
+                )
             return replace(
                 state, informed=state.informed | {(action.obj, action.transaction)}
             )

@@ -1,0 +1,58 @@
+"""repro.obs — tracing, metrics and event hooks for the repro stack.
+
+The observability layer the rest of the library is instrumented with:
+
+* :class:`MetricsRegistry` — counters, gauges, fixed-bucket histograms,
+  snapshot-to-dict/JSON (:mod:`repro.obs.metrics`);
+* :class:`Tracer` — nested context-manager spans with wall-clock timing,
+  tags and pluggable sinks (ring buffer, JSONL file, ``logging``),
+  behind the zero-overhead :data:`NULL_TRACER` default
+  (:mod:`repro.obs.tracer`);
+* :class:`ObsHooks` — the event protocol the simulation driver and
+  generic controller call out through, with :class:`MetricsHooks` as the
+  stock metrics-recording observer (:mod:`repro.obs.hooks`).
+
+See ``docs/OBSERVABILITY.md`` for the full API tour, the JSONL trace
+schema and measured overheads; ``repro trace --help`` for the CLI.
+"""
+
+from .hooks import MetricsHooks, ObsHooks
+from .metrics import (
+    DEFAULT_DURATION_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .tracer import (
+    NULL_TRACER,
+    JSONLFileSink,
+    LoggingSink,
+    NullTracer,
+    RingBufferSink,
+    Span,
+    SpanSink,
+    Tracer,
+    load_jsonl_trace,
+    span_coverage,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_DURATION_BUCKETS",
+    "Span",
+    "SpanSink",
+    "RingBufferSink",
+    "JSONLFileSink",
+    "LoggingSink",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "span_coverage",
+    "load_jsonl_trace",
+    "ObsHooks",
+    "MetricsHooks",
+]

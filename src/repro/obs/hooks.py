@@ -1,0 +1,123 @@
+"""The event-hook protocol threaded through the simulator and controller.
+
+The simulation driver (:func:`repro.sim.driver.run_system`) and the
+generic controller (:class:`repro.generic.controller.GenericController`)
+accept an optional :class:`ObsHooks`; every method has a no-op default,
+so observers subclass only what they care about.  Hot paths guard hook
+calls with ``if hooks is not None`` — an unhooked run pays a single
+``None`` check per event.
+
+:class:`MetricsHooks` is the batteries-included observer: it turns the
+event stream into :class:`~repro.obs.metrics.MetricsRegistry` counters
+and histograms (and, when given a tracer, tags the current span), which
+is what ``repro trace`` and the ``--metrics-json`` CLI flags use.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+from .metrics import MetricsRegistry
+from .tracer import Tracer
+
+__all__ = ["ObsHooks", "MetricsHooks"]
+
+
+class ObsHooks:
+    """Observer protocol for simulator and controller events.
+
+    Subclass and override any subset; the base class is a usable no-op.
+    ``action`` / ``choice`` arguments are :class:`repro.core.actions.Action`
+    instances, ``transaction`` a :class:`repro.core.names.TransactionName`
+    — typed loosely here so the obs layer stays import-light.
+    """
+
+    # -- driver events ------------------------------------------------------
+
+    def on_step(self, step: int, action: Any) -> None:
+        """One driver step executed ``action`` (after effect application)."""
+
+    def on_policy_choice(self, enabled: Sequence[Any], choice: Optional[Any]) -> None:
+        """The scheduling policy picked ``choice`` among ``enabled``."""
+
+    def on_quiescence(self, steps: int) -> None:
+        """The run ended with no enabled actions after ``steps`` steps."""
+
+    def on_deadlock_abort(self, victim: Any) -> None:
+        """Deadlock resolution aborted top-level transaction ``victim``."""
+
+    # -- controller events --------------------------------------------------
+
+    def on_commit(self, transaction: Any) -> None:
+        """The generic controller committed ``transaction``."""
+
+    def on_abort(self, transaction: Any) -> None:
+        """The generic controller aborted ``transaction``."""
+
+    def on_report(self, transaction: Any, committed: bool) -> None:
+        """The controller reported a completion to the parent."""
+
+    def on_inform(self, obj: Any, transaction: Any, committed: bool) -> None:
+        """The controller informed object ``obj`` of a transaction's fate."""
+
+
+class MetricsHooks(ObsHooks):
+    """Record driver/controller events into a metrics registry.
+
+    Instruments written (all created lazily):
+
+    * ``driver.steps`` — counter of executed steps;
+    * ``driver.action.<Kind>`` — counter per action class;
+    * ``driver.enabled_actions`` — histogram of the choice-set size the
+      policy saw at each step (scheduler pressure);
+    * ``driver.quiescent`` — gauge (1 when the run drained);
+    * ``driver.deadlock_aborts`` — counter of victim aborts;
+    * ``controller.commits`` / ``controller.aborts`` /
+      ``controller.reports`` / ``controller.informs`` — dispatch counters,
+      with ``controller.top_level_commits`` split out.
+    """
+
+    _ENABLED_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+    def __init__(
+        self, metrics: MetricsRegistry, tracer: Optional[Tracer] = None
+    ) -> None:
+        self.metrics = metrics
+        self.tracer = tracer
+
+    # -- driver events ------------------------------------------------------
+
+    def on_step(self, step: int, action: Any) -> None:
+        self.metrics.inc("driver.steps")
+        self.metrics.inc(f"driver.action.{type(action).__name__}")
+
+    def on_policy_choice(self, enabled: Sequence[Any], choice: Optional[Any]) -> None:
+        self.metrics.histogram(
+            "driver.enabled_actions", self._ENABLED_BUCKETS
+        ).observe(len(enabled))
+
+    def on_quiescence(self, steps: int) -> None:
+        self.metrics.set_gauge("driver.quiescent", 1)
+        self.metrics.set_gauge("driver.steps_at_quiescence", steps)
+
+    def on_deadlock_abort(self, victim: Any) -> None:
+        self.metrics.inc("driver.deadlock_aborts")
+
+    # -- controller events --------------------------------------------------
+
+    def on_commit(self, transaction: Any) -> None:
+        self.metrics.inc("controller.commits")
+        if getattr(transaction, "depth", None) == 1:
+            self.metrics.inc("controller.top_level_commits")
+
+    def on_abort(self, transaction: Any) -> None:
+        self.metrics.inc("controller.aborts")
+
+    def on_report(self, transaction: Any, committed: bool) -> None:
+        self.metrics.inc("controller.reports")
+        self.metrics.inc(
+            "controller.reports.commit" if committed else "controller.reports.abort"
+        )
+
+    def on_inform(self, obj: Any, transaction: Any, committed: bool) -> None:
+        self.metrics.inc("controller.informs")

@@ -1,0 +1,198 @@
+"""Process-local metrics: counters, gauges and fixed-bucket histograms.
+
+A :class:`MetricsRegistry` is a named bag of instruments that the
+instrumented layers (driver, controller, certifiers) write into and the
+CLI / benchmarks snapshot out of.  Everything is plain Python — no
+background threads, no external dependencies — so a registry can be
+created per run, snapshotted to a dict, and serialized as JSON next to
+a trace file.
+
+Instruments follow the usual taxonomy:
+
+* :class:`Counter` — a monotonically increasing count (events seen,
+  edges added, ...);
+* :class:`Gauge` — a last-write-wins value (graph size, quiescence
+  flag, ...);
+* :class:`Histogram` — fixed upper-bound buckets plus sum/count/min/max,
+  the shape Prometheus-style scrapers expect.  The default buckets are
+  tuned for span durations in seconds (10 µs .. 10 s).
+
+All ``name`` arguments are free-form dotted strings (``"sg.edges"``,
+``"online.feed.actions"``); the registry creates instruments on first
+use, so instrumented code never has to pre-declare them.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_left
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_DURATION_BUCKETS",
+]
+
+# Upper bounds (seconds) for duration histograms; +inf is implicit.
+DEFAULT_DURATION_BUCKETS: Tuple[float, ...] = (
+    1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0,
+)
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+    def snapshot(self) -> Union[int, float]:
+        return self.value
+
+
+class Gauge:
+    """A last-write-wins instantaneous value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: Union[int, float] = 0
+
+    def set(self, value: Union[int, float]) -> None:
+        self.value = value
+
+    def snapshot(self) -> Union[int, float]:
+        return self.value
+
+
+class Histogram:
+    """Fixed-bucket histogram with sum/count/min/max.
+
+    ``buckets`` are inclusive upper bounds in ascending order; an
+    implicit +inf bucket catches the rest.  ``counts[i]`` is the number
+    of observations ``<= buckets[i]`` but greater than the previous
+    bound (i.e. per-bucket, not cumulative).
+    """
+
+    __slots__ = ("buckets", "counts", "count", "sum", "min", "max")
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_DURATION_BUCKETS) -> None:
+        ordered = tuple(sorted(buckets))
+        if not ordered:
+            raise ValueError("a histogram needs at least one bucket bound")
+        self.buckets = ordered
+        self.counts: List[int] = [0] * (len(ordered) + 1)  # last = +inf
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: Union[int, float]) -> None:
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.count += 1
+        self.sum += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.sum / self.count if self.count else None
+
+    def snapshot(self) -> Dict[str, object]:
+        labels = [str(bound) for bound in self.buckets] + ["+inf"]
+        return {
+            "buckets": dict(zip(labels, self.counts)),
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """A named collection of counters, gauges and histograms."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- get-or-create accessors -------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter()
+        return counter
+
+    def gauge(self, name: str) -> Gauge:
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            gauge = self._gauges[name] = Gauge()
+        return gauge
+
+    def histogram(
+        self, name: str, buckets: Sequence[float] = DEFAULT_DURATION_BUCKETS
+    ) -> Histogram:
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram(buckets)
+        return histogram
+
+    # -- write shortcuts ----------------------------------------------------
+
+    def inc(self, name: str, amount: Union[int, float] = 1) -> None:
+        self.counter(name).inc(amount)
+
+    def set_gauge(self, name: str, value: Union[int, float]) -> None:
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: Union[int, float]) -> None:
+        self.histogram(name).observe(value)
+
+    # -- snapshots -----------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """All instruments as one JSON-serializable dict."""
+        return {
+            "counters": {
+                name: counter.snapshot()
+                for name, counter in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: gauge.snapshot()
+                for name, gauge in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: histogram.snapshot()
+                for name, histogram in sorted(self._histograms.items())
+            },
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent)
+
+    def write_json(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(self.to_json() + "\n")
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsRegistry(counters={len(self._counters)}, "
+            f"gauges={len(self._gauges)}, histograms={len(self._histograms)})"
+        )

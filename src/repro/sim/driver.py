@@ -29,6 +29,7 @@ from ..core.actions import (
 from ..core.names import SystemType, TransactionName
 from ..generic.controller import GenericController
 from ..generic.objects import GenericObject
+from ..obs.hooks import ObsHooks
 from .policies import SchedulingPolicy
 from .stats import RunStats
 
@@ -51,6 +52,7 @@ def run_system(
     max_steps: int = 10_000,
     collect_blocking: bool = False,
     resolve_deadlocks: bool = False,
+    hooks: Optional[ObsHooks] = None,
 ) -> RunResult:
     """Run ``system`` under ``policy`` until quiescence or ``max_steps``.
 
@@ -63,6 +65,11 @@ def run_system(
     the way deployed systems do: the top-level ancestor of the least
     blocked access is aborted, releasing its subtree's locks.  Victim
     aborts are counted in ``stats.deadlock_aborts``.
+
+    ``hooks`` (an :class:`repro.obs.hooks.ObsHooks`) observes the run:
+    one ``on_policy_choice``/``on_step`` per step, plus quiescence and
+    deadlock-resolution events.  ``None`` (the default) skips all
+    observer work.
     """
     state = system.initial_state()
     trace: List[Action] = []
@@ -121,14 +128,20 @@ def run_system(
             ]
             offer(aborts)
         choice = policy.choose(enabled)
+        if hooks is not None:
+            hooks.on_policy_choice(enabled, choice)
         if choice is None:
             if resolve_deadlocks and not enabled:
                 victim = pick_deadlock_victim()
                 if victim is not None:
                     choice = victim
                     stats.deadlock_aborts += 1
+                    if hooks is not None:
+                        hooks.on_deadlock_abort(victim.transaction)
             if choice is None:
                 stats.quiescent = not enabled
+                if hooks is not None and stats.quiescent:
+                    hooks.on_quiescence(stats.steps)
                 break
         state = system.effect(state, choice)
         for component in system.components:
@@ -138,6 +151,8 @@ def run_system(
                 )
         trace.append(choice)
         policy.observe(choice)
+        if hooks is not None:
+            hooks.on_step(stats.steps, choice)
         stats.steps += 1
         stats.count(type(choice).__name__)
         if isinstance(choice, Commit):

@@ -25,6 +25,20 @@ class RunStats:
     def count(self, kind: str) -> None:
         self.action_counts[kind] = self.action_counts.get(kind, 0) + 1
 
+    def to_dict(self) -> Dict[str, object]:
+        """All counters as a JSON-serializable dict (``--stats-json``)."""
+        return {
+            "steps": self.steps,
+            "action_counts": dict(self.action_counts),
+            "committed": self.committed,
+            "aborted": self.aborted,
+            "top_level_committed": self.top_level_committed,
+            "accesses_answered": self.accesses_answered,
+            "blocked_access_steps": self.blocked_access_steps,
+            "deadlock_aborts": self.deadlock_aborts,
+            "quiescent": self.quiescent,
+        }
+
     def summary(self) -> str:
         return (
             f"steps={self.steps} committed={self.committed} aborted={self.aborted} "
