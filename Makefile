@@ -1,6 +1,6 @@
 # Convenience targets for the repro library.
 
-.PHONY: install test bench examples scenarios trace-demo ci all
+.PHONY: install test bench examples scenarios trace-demo docs ci all
 
 install:
 	pip install -e . || python setup.py develop
@@ -25,6 +25,10 @@ scenarios:
 trace-demo:
 	PYTHONPATH=src python -m repro trace --seed 7 --out trace-demo.jsonl --online
 	@echo "trace: trace-demo.jsonl  metrics: trace-demo.jsonl.metrics.json"
+
+# Execute every fenced python block in the user-facing docs (the CI docs job)
+docs:
+	python tools/run_doc_examples.py README.md docs/TUTORIAL.md docs/ARCHITECTURE.md docs/PERFORMANCE.md
 
 # Mirror the GitHub Actions CI job locally
 ci:

@@ -7,6 +7,7 @@ conflict enumeration dominates only under heavy same-object contention.
 """
 
 import sys
+import time
 from pathlib import Path
 
 import pytest
@@ -17,13 +18,16 @@ from _tables import print_table
 
 from repro import (
     EagerInformPolicy,
+    MetricsRegistry,
     MossRWLockingObject,
     WorkloadConfig,
     build_serialization_graph,
+    certify_corpus,
     generate_workload,
     make_generic_system,
     run_system,
     serial_projection,
+    simulate_corpus,
 )
 
 
@@ -112,5 +116,61 @@ def test_e6_phase_breakdown(benchmark, behaviors):
     print_table(
         f"E6: per-phase SG construction timings (written to {path.name})",
         ["case", "events", "conflict (ms)", "precedes (ms)", "edges"],
+        rows,
+    )
+
+
+@pytest.mark.benchmark(group="e6")
+def test_e6_sharded_corpus_certification(benchmark):
+    """Sharded batch certification of a recorded corpus (the --jobs path).
+
+    Certifies the same 12-case corpus at several shard fan-outs and
+    asserts the verdicts are identical; writes
+    ``BENCH_e6_parallel.json`` with per-fan-out wall time and the
+    ``parallel.*`` counters.  Wall-clock speedup depends on the host's
+    core count (this is a correctness + methodology benchmark; see
+    docs/PERFORMANCE.md for how to read the numbers).
+    """
+    corpus = simulate_corpus(range(12), top_level=8, objects=4, jobs=1)
+    cases = [
+        (f"seed-{seed}", behavior, system_type)
+        for seed, (behavior, system_type) in enumerate(corpus)
+    ]
+
+    def certify_at_fanouts():
+        report = {}
+        rows = []
+        baseline = None
+        for jobs in (1, 2, 4):
+            registry = MetricsRegistry()
+            start = time.perf_counter()
+            verdicts = certify_corpus(cases, jobs=jobs, metrics=registry)
+            seconds = time.perf_counter() - start
+            if baseline is None:
+                baseline = verdicts
+            assert verdicts == baseline  # fan-out never changes a verdict
+            snapshot = registry.snapshot()
+            report[f"jobs{jobs}"] = {
+                "cases": len(verdicts),
+                "certified": sum(1 for v in verdicts if v.certified),
+                "seconds": seconds,
+                "gauges": snapshot["gauges"],
+                "counters": snapshot["counters"],
+            }
+            rows.append(
+                (
+                    jobs,
+                    int(snapshot["gauges"].get("parallel.shards", 0)),
+                    len(verdicts),
+                    f"{seconds * 1e3:.1f}",
+                )
+            )
+        return report, rows
+
+    report, rows = benchmark.pedantic(certify_at_fanouts, rounds=1, iterations=1)
+    path = write_bench_json("e6_parallel", report)
+    print_table(
+        f"E6: sharded corpus certification (written to {path.name})",
+        ["jobs", "shards", "cases", "wall (ms)"],
         rows,
     )

@@ -40,6 +40,7 @@ from .core import (
     Create,
     CycleError,
     Digraph,
+    IncrementalTopology,
     InformAbort,
     InformCommit,
     ObjectName,
@@ -104,6 +105,12 @@ from .obs import (
     Tracer,
     load_jsonl_trace,
     span_coverage,
+)
+from .parallel import (
+    CaseVerdict,
+    certify_corpus,
+    record_corpus,
+    simulate_corpus,
 )
 from .report import (
     behavior_summary,

@@ -4,14 +4,20 @@ Subcommands::
 
     python -m repro demo   [--algorithm moss|undo] [--seed N]
     python -m repro record [--algorithm moss|undo] [--seed N] -o run.json
+    python -m repro record --runs 8 --jobs 4 -o corpus.json
     python -m repro audit  run.json [--dot graph.dot] [--oracle]
+    python -m repro audit  corpus-*.json --jobs 4
     python -m repro trace  [--seed N] --out trace.jsonl
 
 ``record`` simulates a nested-transaction workload and writes the
-(behavior, system type) pair as JSON; ``audit`` re-checks any such file
-with the serialization-graph certifier, optionally cross-examining with
-the brute-force oracle and exporting the graph as Graphviz DOT.  The
-audit exit status is 0 when certified, 2 when not.
+(behavior, system type) pair as JSON; with ``--runs N`` it records a
+whole seeded corpus (one file per seed), fanned out over ``--jobs``
+worker processes.  ``audit`` re-checks any such file with the
+serialization-graph certifier, optionally cross-examining with the
+brute-force oracle and exporting the graph as Graphviz DOT; given
+several files it batch-certifies them as a corpus, sharded over
+``--jobs`` workers (see :mod:`repro.parallel`).  The audit exit status
+is 0 when every case is certified, 2 when any is not.
 
 ``trace`` runs a fully instrumented workload + certification, writing a
 JSONL span trace plus a metrics snapshot (see ``docs/OBSERVABILITY.md``
@@ -140,8 +146,36 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0 if certificate.certified else 2
 
 
+def _corpus_paths(output: str, seeds: Sequence[int]) -> list:
+    base = Path(output)
+    return [base.with_name(f"{base.stem}-s{seed}{base.suffix}") for seed in seeds]
+
+
 def _cmd_record(args: argparse.Namespace) -> int:
     registry = _make_registry(args)
+    if args.runs > 1:
+        from .parallel import record_corpus
+
+        seeds = range(args.seed, args.seed + args.runs)
+        paths = _corpus_paths(args.output, seeds)
+        recorded = record_corpus(
+            seeds,
+            paths,
+            algorithm=args.algorithm,
+            top_level=args.transactions,
+            objects=args.objects,
+            max_depth=args.depth,
+            abort_rate=args.abort_rate,
+            max_steps=args.max_steps,
+            jobs=args.jobs,
+        )
+        for path, events in recorded:
+            print(f"recorded {events} events to {path}")
+        if registry is not None:
+            registry.set_gauge("parallel.jobs", min(args.jobs, len(paths)))
+            registry.inc("parallel.cases", len(paths))
+        _write_metrics(registry, args)
+        return 0
     hooks = MetricsHooks(registry) if registry is not None else None
     result, system_type = _build_run(args, hooks=hooks)
     text = dump_case(result.behavior, system_type)
@@ -152,36 +186,68 @@ def _cmd_record(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_cases(paths: Sequence[str]):
+    cases = []
+    for name in paths:
+        path = Path(name)
+        try:
+            text = path.read_text()
+        except OSError as exc:
+            print(f"cannot read {path}: {exc}", file=sys.stderr)
+            return None
+        try:
+            behavior, system_type = load_case(text)
+        except (ValueError, KeyError) as exc:
+            print(f"{path} is not a valid repro case: {exc}", file=sys.stderr)
+            return None
+        cases.append((str(path), behavior, system_type))
+    return cases
+
+
 def _cmd_audit(args: argparse.Namespace) -> int:
-    path = Path(args.case)
-    try:
-        text = path.read_text()
-    except OSError as exc:
-        print(f"cannot read {path}: {exc}", file=sys.stderr)
-        return 1
-    try:
-        behavior, system_type = load_case(text)
-    except (ValueError, KeyError) as exc:
-        print(f"{path} is not a valid repro case: {exc}", file=sys.stderr)
+    cases = _load_cases(args.cases)
+    if cases is None:
         return 1
     registry = _make_registry(args)
     if args.engine == "online":
         from .core.online import OnlineCertifier
 
-        verdict = OnlineCertifier(system_type, metrics=registry).feed_all(behavior)
-        print(
-            "CERTIFIED (online engine)"
-            if verdict.certified
-            else "NOT certified (online engine):"
-        )
-        for violation in verdict.arv_violations:
-            print(f"  {violation}")
-        if verdict.cycle is not None:
-            parent, nodes = verdict.cycle
-            print(f"  SG cycle under {parent}: "
-                  + " -> ".join(str(n) for n in nodes))
+        all_certified = True
+        for label, behavior, system_type in cases:
+            verdict = OnlineCertifier(
+                system_type,
+                metrics=registry,
+                incremental=args.cycle_check == "incremental",
+            ).feed_all(behavior)
+            prefix = f"{label}: " if len(cases) > 1 else ""
+            print(
+                f"{prefix}CERTIFIED (online engine)"
+                if verdict.certified
+                else f"{prefix}NOT certified (online engine):"
+            )
+            for violation in verdict.arv_violations:
+                print(f"  {violation}")
+            if verdict.cycle is not None:
+                parent, nodes = verdict.cycle
+                print(f"  SG cycle under {parent}: "
+                      + " -> ".join(str(n) for n in nodes))
+            all_certified = all_certified and verdict.certified
         _write_metrics(registry, args)
-        return 0 if verdict.certified else 2
+        return 0 if all_certified else 2
+    if len(cases) > 1:
+        from .parallel import certify_corpus
+
+        verdicts = certify_corpus(
+            cases, jobs=args.jobs, validate_input=True, metrics=registry
+        )
+        for verdict in verdicts:
+            print(verdict)
+        certified = sum(1 for verdict in verdicts if verdict.certified)
+        print(f"\n{certified}/{len(verdicts)} cases certified "
+              f"(jobs={min(args.jobs, len(cases))})")
+        _write_metrics(registry, args)
+        return 0 if certified == len(verdicts) else 2
+    _, behavior, system_type = cases[0]
     certificate = certify(behavior, system_type, validate_input=True,
                           metrics=registry)
     print(certificate_report(certificate, behavior, system_type,
@@ -292,6 +358,11 @@ def build_parser() -> argparse.ArgumentParser:
     record = subparsers.add_parser("record", help="simulate and save a run as JSON")
     _add_run_options(record)
     record.add_argument("-o", "--output", required=True, help="output JSON path")
+    record.add_argument("--runs", type=int, default=1,
+                        help="record a corpus of N seeded runs (seed, seed+1, "
+                             "...), one '<output>-s<seed>.json' file each")
+    record.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for --runs > 1 (default: 1)")
     record.add_argument("--metrics-json", metavar="PATH",
                         help="write a metrics snapshot as JSON")
     record.set_defaults(func=_cmd_record)
@@ -309,9 +380,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="additionally stream through the online certifier")
     trace.set_defaults(func=_cmd_trace)
 
-    audit = subparsers.add_parser("audit", help="certify a recorded run")
-    audit.add_argument("case", help="JSON file produced by 'record'")
-    audit.add_argument("--dot", help="write the serialization graph as DOT")
+    audit = subparsers.add_parser("audit", help="certify recorded runs")
+    audit.add_argument("cases", nargs="+", metavar="case",
+                       help="JSON file(s) produced by 'record'; several files "
+                            "are batch-certified as a corpus")
+    audit.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for multi-case audits "
+                            "(default: 1)")
+    audit.add_argument("--dot", help="write the serialization graph as DOT "
+                                     "(single case only)")
     audit.add_argument("--oracle", action="store_true",
                        help="on rejection, search for a serial witness anyway")
     audit.add_argument("--oracle-budget", type=int, default=5000)
@@ -320,6 +397,11 @@ def build_parser() -> argparse.ArgumentParser:
     audit.add_argument("--engine", choices=("batch", "online"), default="batch",
                        help="batch (full certificate + witness) or online "
                             "(incremental verdict)")
+    audit.add_argument("--cycle-check", choices=("incremental", "naive"),
+                       default="incremental",
+                       help="online engine's acyclicity check: Pearce-Kelly "
+                            "incremental order maintenance (default) or a "
+                            "full DFS per new edge (the A/B baseline)")
     audit.add_argument("--metrics-json", metavar="PATH",
                        help="write a metrics snapshot as JSON")
     audit.set_defaults(func=_cmd_audit)

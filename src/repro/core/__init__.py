@@ -42,7 +42,7 @@ from .events import (
     serial_projection,
     visible_projection,
 )
-from .graph import CycleError, Digraph
+from .graph import CycleError, Digraph, IncrementalTopology
 from .names import ROOT, Access, ObjectName, SystemType, TransactionName, lca
 from .operations import (
     Operation,

@@ -6,6 +6,8 @@ non-monotone ARV dynamics where a late commit makes an earlier
 operation visible and flips the legality of operations after it.
 """
 
+import random
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -134,6 +136,222 @@ class TestEquivalenceWithBatch:
         verdict = certifier.feed_all(result.behavior)
         assert verdict.certified
         assert certify(result.behavior, system_type).certified
+
+
+def random_contended_behavior(seed, transactions=3, objects=2):
+    """A random interleaving of ``transactions`` top-level read-then-write
+    transactions over ``objects`` hot objects, committed in random order.
+
+    Interleavings where two transactions both read an object before
+    either's write becomes visible produce lost-update SG cycles.
+    """
+    rng = random.Random(seed)
+    names = [f"o{i}" for i in range(objects)]
+    system = rw_system(*names)
+    b = BehaviorBuilder(system)
+    pending = {}
+    for i in range(transactions):
+        txn = b.begin_top(f"t{i}")
+        obj = rng.choice(names)
+        pending[txn] = [("r", obj), ("w", obj)]
+    while pending:
+        txn = rng.choice(sorted(pending))
+        kind, obj = pending[txn].pop(0)
+        if not pending[txn]:
+            del pending[txn]
+        if kind == "r":
+            b.read(txn, "r", obj, 0)
+        else:
+            b.write(txn, "w", obj, rng.randrange(1, 97))
+    order = sorted(T(f"t{i}") for i in range(transactions))
+    rng.shuffle(order)
+    for txn in order:
+        b.commit(txn)
+    return b.build(), system
+
+
+class TestIncrementalVsNaiveEngines:
+    """The A/B flag: both acyclicity engines produce identical verdicts."""
+
+    def test_200_seeded_workloads_agree(self):
+        rejected_seen = 0
+        for seed in range(200):
+            behavior, system = random_simple_behavior(seed, steps=30)
+            incremental = OnlineCertifier(system).feed_all(behavior)
+            naive = OnlineCertifier(system, incremental=False).feed_all(behavior)
+            assert incremental.certified == naive.certified, seed
+            assert incremental.arv_violations == naive.arv_violations, seed
+            assert (incremental.cycle is None) == (naive.cycle is None), seed
+            rejected_seen += not incremental.certified
+        # the sweep must actually exercise both verdicts
+        assert 0 < rejected_seen < 200
+
+    def test_contended_interleavings_agree_and_produce_cycles(self):
+        """Random interleavings of read-then-write transactions on shared
+        objects — the workload shape that actually closes SG cycles
+        (lost-update patterns), which `random_simple_behavior` never does.
+        """
+        cyclic_seen = 0
+        for seed in range(60):
+            behavior, system = random_contended_behavior(seed)
+            incremental = OnlineCertifier(system).feed_all(behavior)
+            naive = OnlineCertifier(system, incremental=False).feed_all(behavior)
+            assert incremental.certified == naive.certified, seed
+            assert (incremental.cycle is None) == (naive.cycle is None), seed
+            cyclic_seen += incremental.cycle is not None
+        # the sweep must actually exercise the cycle-latch path
+        assert cyclic_seen > 0
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 100_000))
+    def test_engines_agree_on_every_prefix(self, seed):
+        behavior, system = random_simple_behavior(seed, steps=35)
+        incremental = OnlineCertifier(system)
+        naive = OnlineCertifier(system, incremental=False)
+        for cut, action in enumerate(behavior, start=1):
+            incremental.feed(action)
+            naive.feed(action)
+            a, b = incremental.verdict(), naive.verdict()
+            assert a.certified == b.certified, (seed, cut)
+            assert a.arv_violations == b.arv_violations, (seed, cut)
+            assert (a.cycle is None) == (b.cycle is None), (seed, cut)
+
+    def test_incremental_latches_a_real_cycle(self):
+        """The latched cycle's consecutive pairs are edges of SG(beta)."""
+        behavior, system = lost_update_behavior()
+        certifier = OnlineCertifier(system)
+        verdict = certifier.feed_all(behavior)
+        assert verdict.cycle is not None
+        parent, nodes = verdict.cycle
+        assert nodes[0] == nodes[-1]
+        group = certifier.graph.graph_for(parent)
+        for src, dst in zip(nodes, nodes[1:]):
+            assert group.has_edge(src, dst)
+
+    def test_incremental_counters(self):
+        from repro import MetricsRegistry
+
+        behavior, system = lost_update_behavior()
+        registry = MetricsRegistry()
+        OnlineCertifier(system, metrics=registry).feed_all(behavior)
+        counters = registry.snapshot()["counters"]
+        assert counters["online.incremental.edge_inserts"] >= 2
+        assert counters["online.cycle_latched"] == 1
+        assert "online.cycle_checks" not in counters  # naive-only counter
+
+    def test_naive_counters(self):
+        from repro import MetricsRegistry
+
+        behavior, system = lost_update_behavior()
+        registry = MetricsRegistry()
+        OnlineCertifier(system, incremental=False, metrics=registry).feed_all(
+            behavior
+        )
+        counters = registry.snapshot()["counters"]
+        assert counters["online.cycle_checks"] >= 2
+        assert counters["online.cycle_latched"] == 1
+        assert "online.incremental.edge_inserts" not in counters
+
+
+class TestAbortAndDeadChainEdgeCases:
+    """Visibility edge cases around aborts, for both acyclicity engines."""
+
+    @pytest.fixture(params=[True, False], ids=["incremental", "naive"])
+    def engine(self, request):
+        return request.param
+
+    def test_abort_after_latch_keeps_cycle_and_matches_batch(self, engine):
+        """An abort kills a *pending* op's edge, never a latched cycle's.
+
+        t3's access would have inserted mid-sequence on the cycle's
+        object (triggering revalidation) had its chain committed; the
+        abort marks the chain dead instead.  The latched cycle survives
+        and the verdict still matches batch certification.
+        """
+        system = rw_system("x")
+        b = BehaviorBuilder(system)
+        t1, t2 = b.begin_top("t1"), b.begin_top("t2")
+        b.read(t1, "r", "x", 0)
+        b.read(t2, "r", "x", 0)
+        b.write(t1, "w", "x", 1)
+        b.write(t2, "w", "x", 2)
+        b.commit(t1)
+        b.commit(t2)  # lost update: cycle t1 <-> t2 latches here
+        certifier = OnlineCertifier(system, incremental=engine)
+        certifier.feed_all(b.build())
+        latched = certifier.verdict().cycle
+        assert latched is not None
+        # t3 writes x but aborts before its chain commits
+        b2 = BehaviorBuilder(system)
+        t3 = b2.begin_top("t3")
+        b2.write(t3, "w", "x", 9)
+        b2.abort(t3)
+        for action in b2.build():
+            certifier.feed(action)
+        verdict = certifier.verdict()
+        assert verdict.cycle == latched  # the latch is monotone
+        full = b.build() + b2.build()
+        assert batch_verdict(full, system)[0] == verdict.certified
+
+    def test_dead_chain_operation_never_becomes_visible(self, engine):
+        """An access requested under an already-aborted ancestor is dead
+        on arrival (`_chain_dead`): no visibility, no edges, no ARV."""
+        from repro import (
+            OK,
+            Abort,
+            Access,
+            Create,
+            ObjectName,
+            ReportAbort,
+            RequestCommit,
+            RequestCreate,
+            WriteOp,
+        )
+
+        system = rw_system("x")
+        t1 = T("t1")
+        access = t1.child("w")
+        system.register_access(access, Access(ObjectName("x"), WriteOp(7)))
+        behavior = (
+            RequestCreate(t1),
+            Abort(t1),          # aborted before ever being created
+            ReportAbort(t1),
+            RequestCreate(access),
+            Create(access),
+            RequestCommit(access, OK),
+            Commit(access),     # the access chain commits under a dead t1
+        )
+        certifier = OnlineCertifier(system, incremental=engine)
+        verdict = certifier.feed_all(behavior)
+        assert verdict.certified
+        assert certifier.graph.edge_count() == 0
+        certified, arv_ok, acyclic = batch_verdict(behavior, system)
+        assert verdict.certified == certified
+
+    def test_abort_triggered_mid_sequence_revalidation(self, engine):
+        """A late commit inserts mid-sequence while a competing pending
+        write on the same object dies by abort; the suffix revalidates
+        against the surviving history and matches batch on every prefix.
+        """
+        system = rw_system("x")
+        b = BehaviorBuilder(system)
+        t1, t2, t3 = b.begin_top("t1"), b.begin_top("t2"), b.begin_top("t3")
+        b.write(t1, "w", "x", 5)   # access committed, t1 still open
+        b.write(t3, "w", "x", 8)   # access committed, t3 still open
+        b.read(t2, "r", "x", 5)    # legal only once t1's write is visible
+        b.commit(t2)
+        b.abort(t3)                # t3's write dies: never inserts
+        b.commit(t1)               # t1's write inserts *before* t2's read
+        behavior = b.build()
+        certifier = OnlineCertifier(system, incremental=engine)
+        for cut, action in enumerate(behavior, start=1):
+            certifier.feed(action)
+            online = certifier.verdict()
+            certified, arv_ok, acyclic = batch_verdict(behavior[:cut], system)
+            assert online.certified == certified, cut
+            assert (not online.arv_violations) == arv_ok, cut
+            assert (online.cycle is None) == acyclic, cut
+        assert certifier.verdict().certified
 
 
 class TestEquivalenceOnDriverStreams:

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Execute the fenced ``python`` code blocks of markdown documentation.
+
+For each markdown file given on the command line, every fenced block
+opened with ```` ```python ```` is extracted; the blocks of one file are
+concatenated **in order** into a single script (so a tutorial may build
+on earlier snippets) and executed in a fresh interpreter with
+``PYTHONPATH`` pointing at ``src/``. Any non-zero exit fails the run.
+
+This is the CI "docs" job and the ``make docs`` target:
+
+    python tools/run_doc_examples.py README.md docs/TUTORIAL.md \
+        docs/ARCHITECTURE.md docs/PERFORMANCE.md
+
+Blocks in other languages (```` ```bash ````, plain fences) are ignored,
+as are indented code spans. A file with no python blocks is an error —
+it means the docs drifted and this guard silently stopped guarding.
+"""
+
+import argparse
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+from typing import List
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def extract_python_blocks(text: str) -> List[str]:
+    """Return the contents of every ```python fenced block, in order."""
+    blocks: List[str] = []
+    current: List[str] = []
+    in_block = False
+    for line in text.splitlines():
+        stripped = line.strip()
+        if not in_block and stripped == "```python":
+            in_block = True
+            current = []
+        elif in_block and stripped == "```":
+            in_block = False
+            blocks.append("\n".join(current))
+        elif in_block:
+            current.append(line)
+    if in_block:
+        raise ValueError("unterminated ```python fence")
+    return blocks
+
+
+def run_file_examples(markdown: Path, python: str, verbose: bool) -> int:
+    """Execute one file's concatenated blocks; return the exit status."""
+    blocks = extract_python_blocks(markdown.read_text())
+    if not blocks:
+        print(f"FAIL {markdown}: no ```python blocks found")
+        return 1
+    script = "\n\n".join(blocks) + "\n"
+    lines = script.count("\n")
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    with tempfile.TemporaryDirectory() as scratch:
+        path = Path(scratch) / (markdown.stem + "_examples.py")
+        path.write_text(script)
+        proc = subprocess.run(
+            [python, str(path)],
+            cwd=scratch,  # stray artifacts land here, not in the repo
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+    if proc.returncode != 0:
+        print(f"FAIL {markdown} ({len(blocks)} blocks, {lines} lines)")
+        print(proc.stdout, end="")
+        print(proc.stderr, end="", file=sys.stderr)
+        return 1
+    print(f"OK   {markdown} ({len(blocks)} blocks, {lines} lines)")
+    if verbose and proc.stdout:
+        print(proc.stdout, end="")
+    return 0
+
+
+def main(argv: List[str] = None) -> int:
+    """CLI entry point: run every file's examples, fail on any error."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="+", type=Path, help="markdown files")
+    parser.add_argument(
+        "--python", default=sys.executable, help="interpreter to run with"
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="store_true", help="echo example stdout"
+    )
+    args = parser.parse_args(argv)
+    failures = 0
+    for markdown in args.files:
+        failures += run_file_examples(markdown, args.python, args.verbose)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
