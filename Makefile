@@ -1,6 +1,6 @@
 # Convenience targets for the repro library.
 
-.PHONY: install test bench examples scenarios trace-demo docs ci all
+.PHONY: install test bench bench-smoke examples scenarios trace-demo docs ci all
 
 install:
 	pip install -e . || python setup.py develop
@@ -10,6 +10,11 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only -s
+
+# Tiny-sized run of every benchmark: catches import errors and API drift
+# in seconds, skips perf assertions and BENCH_*.json output (the CI job)
+bench-smoke:
+	BENCH_SMOKE=1 PYTHONPATH=src python -m pytest benchmarks/ --benchmark-only -q
 
 examples:
 	@for script in examples/*.py; do \

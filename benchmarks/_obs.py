@@ -13,6 +13,7 @@ import json
 from pathlib import Path
 from typing import Callable, Dict, Iterable, Tuple
 
+from _smoke import SMOKE
 from repro.obs import MetricsRegistry, RingBufferSink, Span, Tracer
 
 BENCH_DIR = Path(__file__).parent
@@ -39,7 +40,12 @@ def phase_totals(spans: Iterable[Span], prefix: str = "") -> Dict[str, float]:
 
 
 def write_bench_json(name: str, payload: dict) -> Path:
-    """Write ``BENCH_<name>.json`` beside the benchmarks; return the path."""
+    """Write ``BENCH_<name>.json`` beside the benchmarks; return the path.
+
+    Under ``BENCH_SMOKE=1`` the write is skipped — smoke sweeps are too
+    tiny to be worth publishing as regression baselines.
+    """
     path = BENCH_DIR / f"BENCH_{name}.json"
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    if not SMOKE:
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path

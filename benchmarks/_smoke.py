@@ -1,0 +1,22 @@
+"""Smoke-mode switch shared by the experiment benchmarks.
+
+Setting ``BENCH_SMOKE=1`` shrinks every benchmark to a tiny sweep that
+finishes in seconds and skips the statistical/performance assertions and
+the ``BENCH_*.json`` artifacts — CI runs the suite this way (``make
+bench-smoke``) purely to catch import errors, API drift, and workload
+generators that stopped producing the shapes the benchmarks assume.
+Unset (the default), benchmarks run their full sweeps and publish
+results.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: True when the benchmarks should run tiny correctness-only sweeps.
+SMOKE = os.environ.get("BENCH_SMOKE", "") not in ("", "0")
+
+
+def pick(full, tiny):
+    """``full`` normally, ``tiny`` under ``BENCH_SMOKE=1``."""
+    return tiny if SMOKE else full

@@ -18,6 +18,7 @@ from pathlib import Path
 import pytest
 
 sys.path.insert(0, str(Path(__file__).parent))
+from _smoke import SMOKE, pick
 from _tables import print_table
 
 from repro import (
@@ -67,7 +68,7 @@ def run_sweep(samples: int):
 
 @pytest.mark.benchmark(group="e10")
 def test_e10_multiversion_boundary(benchmark):
-    samples = 60
+    samples = pick(60, 8)
     certified, rejected_correct, rejected_incorrect, giveups = benchmark.pedantic(
         run_sweep, args=(samples,), rounds=1, iterations=1
     )
@@ -90,5 +91,6 @@ def test_e10_multiversion_boundary(benchmark):
         ],
     )
     assert rejected_incorrect == 0, "MVTO produced an incorrect behavior"
-    assert rejected_correct > 0, "expected the multiversion gap to appear"
-    assert certified > 0
+    if not SMOKE:  # the gap is statistical; it needs the full sample size
+        assert rejected_correct > 0, "expected the multiversion gap to appear"
+        assert certified > 0

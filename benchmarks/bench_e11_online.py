@@ -16,6 +16,7 @@ import pytest
 
 sys.path.insert(0, str(Path(__file__).parent))
 from _obs import write_bench_json
+from _smoke import SMOKE, pick
 from _tables import print_table
 
 from repro import (
@@ -49,7 +50,9 @@ def make_stream(top_level: int, objects: int, seed: int = 0):
 def run_comparison():
     rows = []
     cost_report = {}
-    for top_level, objects in [(8, 4), (16, 8), (32, 8), (64, 16)]:
+    for top_level, objects in pick(
+        [(8, 4), (16, 8), (32, 8), (64, 16)], [(8, 4)]
+    ):
         behavior, system_type = make_stream(top_level, objects)
         # metrics-only instrumentation: counts the online certifier's
         # cost drivers (insertions, suffix re-evaluations, edges) without
@@ -107,5 +110,6 @@ def test_e11_online_vs_batch(benchmark):
         ],
         rows,
     )
-    # the online stream should beat re-running batch per event handily
-    assert all(float(row[4].rstrip("x")) > 2 for row in rows)
+    if not SMOKE:
+        # the online stream should beat re-running batch per event handily
+        assert all(float(row[4].rstrip("x")) > 2 for row in rows)

@@ -19,6 +19,7 @@ from pathlib import Path
 import pytest
 
 sys.path.insert(0, str(Path(__file__).parent))
+from _smoke import SMOKE, pick
 from _tables import print_table
 
 from repro import (
@@ -52,7 +53,7 @@ def make_behavior(top_level: int, seed: int = 1):
 
 def run_comparison():
     rows = []
-    for top_level in (2, 3, 4, 5, 6):
+    for top_level in pick((2, 3, 4, 5, 6), (2, 3)):
         behavior, system_type = make_behavior(top_level)
 
         start = time.perf_counter()
@@ -88,4 +89,5 @@ def test_e12_graph_test_vs_oracle_search(benchmark):
     # test must stay flat.  Note: the oracle stops at the FIRST witness,
     # so 'orders tried' understates the worst case (a rejection would
     # enumerate everything).
-    assert float(rows[-1][1]) < 50.0
+    if not SMOKE:
+        assert float(rows[-1][1]) < 50.0

@@ -25,6 +25,7 @@ import pytest
 
 sys.path.insert(0, str(Path(__file__).parent))
 from _obs import write_bench_json
+from _smoke import SMOKE, pick
 from _tables import print_table
 
 from repro import (
@@ -90,7 +91,7 @@ def timed_stream(behavior, system_type, incremental: bool):
     return certifier.verdict(), seconds, registry.snapshot()["counters"]
 
 
-CASES = [(32, 2), (64, 2), (96, 2)]
+CASES = pick([(32, 2), (64, 2), (96, 2)], [(8, 2), (12, 2)])
 
 
 def run_comparison():
@@ -146,10 +147,11 @@ def test_e13_incremental_vs_naive(benchmark):
         ["case", "events", "edges", "incremental (ms)", "naive (ms)", "speedup"],
         rows,
     )
-    # the speedup must be real and must grow with the history
-    speedups = [report[f"top{t}_obj{o}"]["speedup"] for t, o in CASES]
-    assert speedups[-1] > 2.0, speedups
-    assert speedups[-1] > speedups[0], speedups
+    if not SMOKE:
+        # the speedup must be real and must grow with the history
+        speedups = [report[f"top{t}_obj{o}"]["speedup"] for t, o in CASES]
+        assert speedups[-1] > 2.0, speedups
+        assert speedups[-1] > speedups[0], speedups
     # on an append-only history every insert is order-consistent:
     # the affected region never contains a single node
     largest = report[f"top{CASES[-1][0]}_obj{CASES[-1][1]}"]

@@ -12,6 +12,7 @@ from pathlib import Path
 import pytest
 
 sys.path.insert(0, str(Path(__file__).parent))
+from _smoke import SMOKE, pick
 from _tables import print_table
 
 from repro import (
@@ -39,8 +40,8 @@ KINDS = [
     ("register", RegisterKind()),
     ("map", MapKind()),
 ]
-ABORT_RATES = [0.0, 0.2]
-SEEDS = range(4)
+ABORT_RATES = pick([0.0, 0.2], [0.0])
+SEEDS = pick(range(4), range(1))
 
 
 def run_sweep():
@@ -83,6 +84,7 @@ def test_e3_undo_theorem25(benchmark):
         rows,
     )
     assert all(row[-1] == 0 for row in rows)
-    # commutativity shape: the counter blocks less than the queue
-    blocked = {row[0]: row[4] for row in rows if row[1] == 0.0}
-    assert blocked["counter"] <= blocked["queue"]
+    if not SMOKE:
+        # commutativity shape: the counter blocks less than the queue
+        blocked = {row[0]: row[4] for row in rows if row[1] == 0.0}
+        assert blocked["counter"] <= blocked["queue"]

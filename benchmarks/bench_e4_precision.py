@@ -21,6 +21,7 @@ from pathlib import Path
 import pytest
 
 sys.path.insert(0, str(Path(__file__).parent))
+from _smoke import SMOKE, pick
 from _tables import print_table
 
 from repro import (
@@ -120,7 +121,7 @@ def run_sweep(samples: int):
 
 @pytest.mark.benchmark(group="e4")
 def test_e4_precision(benchmark):
-    samples = 150
+    samples = pick(150, 10)
     both_accept, only_oracle, only_sg, both_reject = benchmark.pedantic(
         run_sweep, args=(samples,), rounds=1, iterations=1
     )
@@ -139,5 +140,6 @@ def test_e4_precision(benchmark):
         ],
     )
     assert only_sg == 0, "the SG test accepted an incorrect behavior"
-    assert only_oracle > 0, "expected some correct-but-rejected behaviors"
-    assert both_accept > 0
+    if not SMOKE:  # the shape claims need the full sample size
+        assert only_oracle > 0, "expected some correct-but-rejected behaviors"
+        assert both_accept > 0

@@ -13,6 +13,7 @@ from pathlib import Path
 import pytest
 
 sys.path.insert(0, str(Path(__file__).parent))
+from _smoke import pick
 from _tables import print_table
 
 from repro import (
@@ -40,12 +41,15 @@ def top_level_conflict_graph(behavior, system_type):
     return edges, digraph
 
 
+HISTORIES = pick(25, 3)
+
+
 def run_sweep():
     rows = []
     # random (possibly non-serializable) histories: edge + cyclicity agreement
     for txns, objs, ops in [(3, 2, 3), (4, 2, 3), (5, 3, 4)]:
         edge_agree = cycle_agree = total = 0
-        for seed in range(25):
+        for seed in range(HISTORIES):
             history = random_history(
                 txns, objs, ops, seed=seed, write_probability=0.6
             )
@@ -61,7 +65,7 @@ def run_sweep():
     for txns, objs, ops in [(4, 3, 3), (6, 3, 4)]:
         certified = total = 0
         rng = random.Random(0)
-        for seed in range(25):
+        for seed in range(HISTORIES):
             scripts = [
                 FlatScript.random(f"T{i}", objects=objs, length=ops, rng=rng)
                 for i in range(txns)

@@ -14,6 +14,7 @@ import pytest
 
 sys.path.insert(0, str(Path(__file__).parent))
 from _obs import instrumented_run, phase_totals, write_bench_json
+from _smoke import pick
 from _tables import print_table
 
 from repro import (
@@ -47,7 +48,10 @@ def make_behavior(top_level: int, objects: int, seed: int = 0):
     return serial_projection(result.behavior), system_type
 
 
-CASES = [(8, 4), (16, 8), (32, 8), (64, 16), (128, 16), (256, 32)]
+CASES = pick(
+    [(8, 4), (16, 8), (32, 8), (64, 16), (128, 16), (256, 32)],
+    [(8, 4), (16, 8)],
+)
 
 
 @pytest.fixture(scope="module")
@@ -131,7 +135,7 @@ def test_e6_sharded_corpus_certification(benchmark):
     core count (this is a correctness + methodology benchmark; see
     docs/PERFORMANCE.md for how to read the numbers).
     """
-    corpus = simulate_corpus(range(12), top_level=8, objects=4, jobs=1)
+    corpus = simulate_corpus(range(pick(12, 3)), top_level=8, objects=4, jobs=1)
     cases = [
         (f"seed-{seed}", behavior, system_type)
         for seed, (behavior, system_type) in enumerate(corpus)

@@ -14,6 +14,7 @@ from pathlib import Path
 import pytest
 
 sys.path.insert(0, str(Path(__file__).parent))
+from _smoke import SMOKE, pick
 from _tables import print_table
 
 from repro import (
@@ -95,7 +96,7 @@ def run_one(setup, clients, seed=3):
 
 def run_sweep():
     rows = []
-    for clients in (2, 4, 8, 16):
+    for clients in pick((2, 4, 8, 16), (2, 4)):
         lock = run_one(locking_workload, clients)
         read_update = run_one(read_update_workload, clients)
         undo = run_one(undo_workload, clients)
@@ -137,5 +138,6 @@ def test_e7_commutativity_concurrency(benchmark):
         # read/update locking: single exclusive lock per increment, no
         # read-lock coupling, so no deadlock — all clients commit
         assert rc == clients
-    # RW locking must lose clients to deadlock once contention is real
-    assert any(row[2] > 0 for row in rows)
+    if not SMOKE:
+        # RW locking must lose clients to deadlock once contention is real
+        assert any(row[2] > 0 for row in rows)

@@ -14,6 +14,7 @@ from pathlib import Path
 import pytest
 
 sys.path.insert(0, str(Path(__file__).parent))
+from _smoke import SMOKE, pick
 from _tables import print_table
 
 from repro import (
@@ -29,8 +30,8 @@ from repro import (
     run_system,
 )
 
-RATES = [0.0, 0.1, 0.3, 0.5, 0.8]
-SEEDS = range(3)
+RATES = pick([0.0, 0.1, 0.3, 0.5, 0.8], [0.0, 0.5])
+SEEDS = pick(range(3), range(1))
 
 
 def run_sweep():
@@ -73,6 +74,9 @@ def test_e8_recovery_abort_storm(benchmark):
         rows,
     )
     assert all(row[-1] == 0 for row in rows)
-    for label in ("moss/rw", "undo/counter"):
-        series = [row for row in rows if row[0] == label]
-        assert series[0][3] >= series[-1][3], "committed work should not grow with aborts"
+    if not SMOKE:
+        for label in ("moss/rw", "undo/counter"):
+            series = [row for row in rows if row[0] == label]
+            assert series[0][3] >= series[-1][3], (
+                "committed work should not grow with aborts"
+            )

@@ -19,6 +19,7 @@ from pathlib import Path
 import pytest
 
 sys.path.insert(0, str(Path(__file__).parent))
+from _smoke import SMOKE, pick
 from _tables import print_table
 
 from repro import (
@@ -118,7 +119,7 @@ def ablation_informs(seeds):
 @pytest.mark.benchmark(group="e9")
 def test_e9a_precedes_edges_matter(benchmark):
     total, full_fail, stripped_fail = benchmark.pedantic(
-        ablation_precedes, args=(range(12),), rounds=1, iterations=1
+        ablation_precedes, args=(range(pick(12, 4)),), rounds=1, iterations=1
     )
     print_table(
         "E9a: sequential workloads — does the derived order satisfy Theorem 2?",
@@ -129,13 +130,14 @@ def test_e9a_precedes_edges_matter(benchmark):
         ],
     )
     assert full_fail == 0, "the paper's graph must always yield a good order"
-    assert stripped_fail > 0, "dropping precedes edges should break some orders"
+    if not SMOKE:  # needs the full seed sweep to observe a broken order
+        assert stripped_fail > 0, "dropping precedes edges should break some orders"
 
 
 @pytest.mark.benchmark(group="e9")
 def test_e9b_inform_delivery_order(benchmark):
     rows = benchmark.pedantic(
-        ablation_informs, args=(range(5),), rounds=1, iterations=1
+        ablation_informs, args=(range(pick(5, 2)),), rounds=1, iterations=1
     )
     print_table(
         "E9b: Moss locking under eager vs arbitrary inform delivery",

@@ -37,9 +37,11 @@ from .core import (
     Behavior,
     Certificate,
     Commit,
+    ConflictCache,
     Create,
     CycleError,
     Digraph,
+    HistoryIndex,
     IncrementalTopology,
     InformAbort,
     InformCommit,

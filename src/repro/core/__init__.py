@@ -43,6 +43,7 @@ from .events import (
     visible_projection,
 )
 from .graph import CycleError, Digraph, IncrementalTopology
+from .history import ConflictCache, HistoryIndex
 from .names import ROOT, Access, ObjectName, SystemType, TransactionName, lca
 from .operations import (
     Operation,

@@ -40,6 +40,7 @@ from .actions import (
 )
 from .events import StatusIndex, project_transaction, serial_projection
 from .graph import CycleError
+from .history import HistoryIndex
 from .names import ROOT, SystemType, TransactionName
 from .operations import (
     is_serial_object_well_formed,
@@ -115,6 +116,7 @@ def certify(
     validate_input: bool = False,
     tracer: Optional[Tracer] = None,
     metrics: Optional[MetricsRegistry] = None,
+    indexed: bool = True,
 ) -> Certificate:
     """Apply Theorem 8/19 to (the serial projection of) ``behavior``.
 
@@ -128,6 +130,14 @@ def certify(
     ``input_problems`` and make the certificate non-certified — a
     malformed log deserves a diagnosis, not a verdict.
 
+    By default one :class:`repro.core.history.HistoryIndex` is built over
+    ``serial(beta)`` and shared by every phase — ARV, graph construction,
+    witness building and witness-projection comparison all read its
+    cached projections and memoized visibility.  ``indexed=False`` keeps
+    the original per-phase scans (a plain :class:`StatusIndex`) as the
+    A/B baseline; the verdicts are identical either way, a property the
+    test suite asserts on seeded workloads.
+
     ``tracer`` wraps the run in a ``certify`` span whose children cover
     the phases (projection, input validation, ARV check, graph build,
     cycle search, witness); ``metrics`` gains phase gauges/counters.
@@ -137,7 +147,11 @@ def certify(
     with tracer.span("certify", events=len(behavior)):
         with tracer.span("certify.project"):
             serial = serial_projection(behavior)
-            index = StatusIndex(serial)
+            index = (
+                HistoryIndex(serial, system_type, metrics)
+                if indexed
+                else StatusIndex(serial)
+            )
         input_problems: List[str] = []
         if validate_input:
             # imported lazily: the simple database lives one layer above core
@@ -163,7 +177,12 @@ def certify(
             )
         with tracer.span("certify.build_graph"):
             graph = build_serialization_graph(
-                serial, system_type, index, tracer=tracer, metrics=metrics
+                serial,
+                system_type,
+                index,
+                tracer=tracer,
+                metrics=metrics,
+                indexed=indexed,
             )
         with tracer.span("certify.find_cycle"):
             cycle = graph.find_cycle()
@@ -188,7 +207,7 @@ def certify(
                         for transaction in _visible_transactions(index):
                             if project_transaction(
                                 witness, transaction
-                            ) != project_transaction(serial, transaction):
+                            ) != project_transaction(serial, transaction, index):
                                 certificate.witness_problems.append(
                                     f"witness projection differs at {transaction}"
                                 )
@@ -263,7 +282,7 @@ class _WitnessBuilder:
     def local_sequence(self, transaction: TransactionName) -> Behavior:
         if transaction not in self._local_cache:
             self._local_cache[transaction] = project_transaction(
-                self.serial, transaction
+                self.serial, transaction, self.index
             )
         return self._local_cache[transaction]
 

@@ -57,9 +57,21 @@ def serial_projection(behavior: Sequence[Action]) -> Behavior:
 
 
 def project_transaction(
-    behavior: Sequence[Action], transaction: TransactionName
+    behavior: Sequence[Action],
+    transaction: TransactionName,
+    index: Optional["StatusIndex"] = None,
 ) -> Behavior:
-    """``beta | T``: serial actions whose ``transaction(pi)`` equals ``T``."""
+    """``beta | T``: serial actions whose ``transaction(pi)`` equals ``T``.
+
+    When ``index`` is a :class:`repro.core.history.HistoryIndex` covering
+    ``behavior``, the projection is a cached index slice.
+    """
+    if index is not None:
+        cached = getattr(index, "cached_project_transaction", None)
+        if cached is not None:
+            result = cached(behavior, transaction)
+            if result is not None:
+                return result
     return tuple(
         action
         for action in behavior
@@ -68,13 +80,23 @@ def project_transaction(
 
 
 def project_object(
-    behavior: Sequence[Action], obj: ObjectName, system_type: SystemType
+    behavior: Sequence[Action],
+    obj: ObjectName,
+    system_type: SystemType,
+    index: Optional["StatusIndex"] = None,
 ) -> Behavior:
     """``beta | X``: serial actions whose ``object(pi)`` equals ``X``.
 
     These are exactly the CREATE and REQUEST_COMMIT events of accesses
-    to ``X``.
+    to ``X``.  When ``index`` is a :class:`repro.core.history.HistoryIndex`
+    covering ``behavior``, the projection is a cached index slice.
     """
+    if index is not None:
+        cached = getattr(index, "cached_project_object", None)
+        if cached is not None:
+            projected = cached(behavior, obj)
+            if projected is not None:
+                return projected
     result = []
     for action in behavior:
         if not isinstance(action, (Create, RequestCommit)):
@@ -146,7 +168,17 @@ def visible_projection(
     to: TransactionName,
     index: Optional[StatusIndex] = None,
 ) -> Behavior:
-    """``visible(beta, T)``: serial actions whose hightransaction is visible to T."""
+    """``visible(beta, T)``: serial actions whose hightransaction is visible to T.
+
+    When ``index`` is a :class:`repro.core.history.HistoryIndex` covering
+    ``behavior``, the cached projection is returned without a scan.
+    """
+    if index is not None:
+        cached = getattr(index, "cached_visible_projection", None)
+        if cached is not None:
+            result = cached(behavior, to)
+            if result is not None:
+                return result
     index = index if index is not None else StatusIndex(behavior)
     return tuple(
         action
@@ -158,7 +190,17 @@ def visible_projection(
 def clean_projection(
     behavior: Sequence[Action], index: Optional[StatusIndex] = None
 ) -> Behavior:
-    """``clean(beta)``: serial actions whose hightransaction is not an orphan."""
+    """``clean(beta)``: serial actions whose hightransaction is not an orphan.
+
+    When ``index`` is a :class:`repro.core.history.HistoryIndex` covering
+    ``behavior``, the cached projection is returned without a scan.
+    """
+    if index is not None:
+        cached = getattr(index, "cached_clean_projection", None)
+        if cached is not None:
+            result = cached(behavior)
+            if result is not None:
+                return result
     index = index if index is not None else StatusIndex(behavior)
     return tuple(
         action

@@ -35,10 +35,15 @@ class CycleError(ValueError):
 
 
 class Digraph(Generic[N]):
-    """A directed graph whose edges carry a set of string labels."""
+    """A directed graph whose edges carry a set of string labels.
+
+    Labels are kept as sorted tuples, maintained at insert time — label
+    sets per edge are tiny (one or two kinds) and read far more often
+    than written, so iteration never re-sorts.
+    """
 
     def __init__(self) -> None:
-        self._succ: Dict[N, Dict[N, Set[str]]] = {}
+        self._succ: Dict[N, Dict[N, Tuple[str, ...]]] = {}
         self._pred: Dict[N, Set[N]] = {}
 
     # -- construction ------------------------------------------------------
@@ -52,9 +57,10 @@ class Digraph(Generic[N]):
         """Add an edge; parallel labels accumulate on the same edge."""
         self.add_node(src)
         self.add_node(dst)
-        self._succ[src].setdefault(dst, set())
-        if label:
-            self._succ[src][dst].add(label)
+        labels = self._succ[src].get(dst, ())
+        if label and label not in labels:
+            labels = tuple(sorted(labels + (label,)))
+        self._succ[src][dst] = labels
         self._pred[dst].add(src)
 
     # -- inspection ----------------------------------------------------------
@@ -62,10 +68,10 @@ class Digraph(Generic[N]):
     def nodes(self) -> Tuple[N, ...]:
         return tuple(self._succ)
 
-    def edges(self) -> Iterator[Tuple[N, N, frozenset]]:
+    def edges(self) -> Iterator[Tuple[N, N, Tuple[str, ...]]]:
+        """Yield ``(src, dst, labels)``; labels are an already-sorted tuple."""
         for src, targets in self._succ.items():
-            for dst, labels in targets.items():
-                yield src, dst, frozenset(labels)
+            yield from ((src, dst, labels) for dst, labels in targets.items())
 
     def has_edge(self, src: N, dst: N) -> bool:
         return src in self._succ and dst in self._succ[src]
@@ -188,7 +194,7 @@ class Digraph(Generic[N]):
         graph = nx.DiGraph()
         graph.add_nodes_from(self._succ)
         for src, dst, labels in self.edges():
-            graph.add_edge(src, dst, kinds=sorted(labels))
+            graph.add_edge(src, dst, kinds=list(labels))
         return graph
 
     def __repr__(self) -> str:

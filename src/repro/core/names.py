@@ -30,6 +30,16 @@ __all__ = [
 ]
 
 
+# Interning caches.  Names are immutable values, so hot loops (ancestor
+# walks, LCA projections, sibling-edge construction) can share one
+# canonical instance per path instead of allocating fresh tuples and
+# names on every call.  The caches grow with the set of *distinct* names
+# a process touches — bounded by the workloads it certifies, the same
+# lifetime as a ``SystemType``'s access registry.
+_INTERNED: Dict[Tuple[str, ...], "TransactionName"] = {}
+_CHAINS: Dict[Tuple[str, ...], Tuple["TransactionName", ...]] = {}
+
+
 @dataclass(frozen=True, order=True)
 class TransactionName:
     """A transaction name: a path of components from the root ``T0``.
@@ -49,6 +59,21 @@ class TransactionName:
             if not isinstance(part, str) or not part:
                 raise ValueError(f"path components must be non-empty strings: {self.path!r}")
 
+    # -- interning -------------------------------------------------------
+
+    @classmethod
+    def interned(cls, path: Tuple[str, ...]) -> "TransactionName":
+        """The canonical shared instance for ``path``.
+
+        Equality and hashing are value-based either way; interning only
+        lets hot loops reuse one instance (and its cached ancestor
+        chain) instead of re-allocating.
+        """
+        name = _INTERNED.get(path)
+        if name is None:
+            name = _INTERNED.setdefault(path, cls(path))
+        return name
+
     # -- tree structure -------------------------------------------------
 
     @property
@@ -66,28 +91,58 @@ class TransactionName:
         """The parent name.  Raises ``ValueError`` on the root."""
         if self.is_root:
             raise ValueError("T0 has no parent")
-        return TransactionName(self.path[:-1])
+        return TransactionName.interned(self.path[:-1])
 
     def child(self, component: str) -> "TransactionName":
         """The child of this name labelled ``component``."""
-        return TransactionName(self.path + (component,))
+        return TransactionName.interned(self.path + (component,))
+
+    def ancestor_chain(self) -> Tuple["TransactionName", ...]:
+        """The cached tuple of ancestors, from this name up to the root.
+
+        Per the paper, a transaction is its own ancestor; the chain is
+        ``(self, parent, ..., T0)``.  Computed once per distinct path and
+        shared, so ancestor walks in hot loops stop allocating.
+        """
+        chain = _CHAINS.get(self.path)
+        if chain is None:
+            if not self.path:
+                chain = (TransactionName.interned(()),)
+            else:
+                me = TransactionName.interned(self.path)
+                chain = (me,) + me.parent.ancestor_chain()
+            _CHAINS[self.path] = chain
+        return chain
 
     def ancestors(self) -> Iterator["TransactionName"]:
         """Yield every ancestor, from this name up to and including the root.
 
         Per the paper, a transaction is its own ancestor.
         """
-        for i in range(len(self.path), -1, -1):
-            yield TransactionName(self.path[:i])
+        return iter(self.ancestor_chain())
 
     def proper_ancestors(self) -> Iterator["TransactionName"]:
         """Yield every ancestor strictly above this name, up to the root."""
-        for i in range(len(self.path) - 1, -1, -1):
-            yield TransactionName(self.path[:i])
+        return iter(self.ancestor_chain()[1:])
+
+    def prefix(self, depth: int) -> "TransactionName":
+        """The (interned) ancestor of this name at the given depth.
+
+        ``name.prefix(d)`` equals ``TransactionName(name.path[:d])`` but
+        reads the cached ancestor chain instead of slicing.
+        """
+        if not 0 <= depth <= len(self.path):
+            raise ValueError(f"depth {depth} out of range for {self}")
+        return self.ancestor_chain()[len(self.path) - depth]
 
     def is_ancestor_of(self, other: "TransactionName") -> bool:
         """True iff ``self`` is an ancestor of ``other`` (reflexively)."""
-        return other.path[: len(self.path)] == self.path
+        if self is other:
+            return True
+        n = len(self.path)
+        if n > len(other.path):
+            return False
+        return other.path[:n] == self.path
 
     def is_descendant_of(self, other: "TransactionName") -> bool:
         """True iff ``self`` is a descendant of ``other`` (reflexively)."""
@@ -107,21 +162,33 @@ class TransactionName:
         return "T0" if self.is_root else "T0/" + "/".join(self.path)
 
     def __repr__(self) -> str:
-        return f"TransactionName({str(self)!r})" if False else str(self)
+        return str(self)
 
 
-ROOT = TransactionName(())
+ROOT = TransactionName.interned(())
 """The mythical root transaction ``T0`` modelling the environment."""
 
 
 def lca(a: TransactionName, b: TransactionName) -> TransactionName:
-    """The least common ancestor of two transaction names."""
-    prefix = []
-    for x, y in zip(a.path, b.path):
-        if x != y:
-            break
-        prefix.append(x)
-    return TransactionName(tuple(prefix))
+    """The least common ancestor of two transaction names.
+
+    O(depth) with early exit: walks the two paths until they diverge and
+    returns the (interned) ancestor at that depth — no prefix list is
+    built, and when one name is an ancestor of the other it is returned
+    directly.
+    """
+    if a is b:
+        return a
+    a_path, b_path = a.path, b.path
+    limit = min(len(a_path), len(b_path))
+    i = 0
+    while i < limit and a_path[i] == b_path[i]:
+        i += 1
+    if i == len(a_path):
+        return a
+    if i == len(b_path):
+        return b
+    return a.prefix(i)
 
 
 @dataclass(frozen=True, order=True)

@@ -42,6 +42,7 @@ from .actions import (
     is_serial_action,
 )
 from .graph import IncrementalTopology
+from .history import ConflictCache, spec_is_read_only
 from .names import ROOT, ObjectName, SystemType, TransactionName, lca
 from .serialization_graph import CONFLICT, PRECEDES, SerializationGraph, SiblingEdge
 
@@ -65,6 +66,7 @@ class _TrackedOp:
     value: Any
     obj: ObjectName
     pending: Set[TransactionName]  # uncommitted ancestors (excl. ROOT)
+    read_only: bool = False
     dead: bool = False
     visible: bool = False
 
@@ -108,11 +110,17 @@ class OnlineCertifier:
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
         incremental: bool = True,
+        conflict_cache: Optional[ConflictCache] = None,
     ) -> None:
         self.system_type = system_type
         self.tracer = tracer if tracer else None
         self.metrics = metrics
         self.incremental = incremental
+        # conflict verdicts are pure per (spec, ops, values): a cache may
+        # be shared across certifier instances auditing the same objects
+        self.conflict_cache = (
+            conflict_cache if conflict_cache is not None else ConflictCache()
+        )
         self._topologies: Dict[TransactionName, IncrementalTopology] = {}
         self._position = 0
         self._committed: Set[TransactionName] = set()
@@ -223,6 +231,7 @@ class OnlineCertifier:
             action.value,
             access.obj,
             self._uncommitted_chain(action.transaction),
+            read_only=spec_is_read_only(self.system_type.spec(access.obj), access.op),
         )
         self._ops.append(tracked)
         if self._chain_dead(action.transaction):
@@ -286,20 +295,24 @@ class OnlineCertifier:
         tracked.visible = True
         sequence = self._visible[tracked.obj]
         spec = self.system_type.spec(tracked.obj)
-        # conflict edges against every already-visible op on the object
+        cache = self.conflict_cache
+        # conflict edges against every already-visible op on the object;
+        # read/read pairs commute (both ops preserve the state) and are
+        # skipped before the spec or the verdict cache is consulted
         for other in sequence:
+            if tracked.read_only and other.read_only:
+                continue
             if other.transaction.is_related_to(tracked.transaction):
                 continue
             first, second = (
                 (other, tracked) if other.position < tracked.position else (tracked, other)
             )
-            if spec.conflicts(first.op, first.value, second.op, second.value):
-                ancestor = lca(first.transaction, second.transaction)
-                depth = ancestor.depth
+            if cache.conflicts(spec, first.op, first.value, second.op, second.value):
+                depth = lca(first.transaction, second.transaction).depth + 1
                 self._add_edge(
                     SiblingEdge(
-                        TransactionName(first.transaction.path[: depth + 1]),
-                        TransactionName(second.transaction.path[: depth + 1]),
+                        first.transaction.prefix(depth),
+                        second.transaction.prefix(depth),
                         CONFLICT,
                     )
                 )

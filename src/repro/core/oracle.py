@@ -24,6 +24,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 from .actions import Action, Behavior
 from .correctness import WitnessError, build_witness, validate_serial_behavior
 from .events import StatusIndex, project_transaction, serial_projection
+from .history import HistoryIndex
 from .names import ROOT, SystemType, TransactionName
 from .sibling_order import SiblingOrder
 
@@ -61,15 +62,21 @@ def _sibling_groups(
 def enumerate_sibling_orders(
     behavior: Sequence[Action],
     limit: Optional[int] = None,
+    index: Optional[StatusIndex] = None,
 ) -> Iterator[SiblingOrder]:
     """Yield every total sibling order over the visible transactions.
 
     The number of orders is the product of factorials of the sibling
     group sizes; ``limit`` truncates the enumeration (the caller learns
-    about truncation through :class:`OracleResult`).
+    about truncation through :class:`OracleResult`).  Pass the caller's
+    :class:`repro.core.history.HistoryIndex` to reuse its memoized
+    visibility instead of re-indexing.
     """
     serial = serial_projection(behavior)
-    index = StatusIndex(serial)
+    if index is None or not (
+        isinstance(index, HistoryIndex) and index.covers(serial)
+    ):
+        index = HistoryIndex(serial)
     visible = {
         t
         for t in (index.create_requested | index.created | {ROOT})
@@ -97,12 +104,15 @@ def oracle_serially_correct(
 
     Accepts as soon as one order yields a witness that validates against
     the serial scheduler rules and every object's serial specification.
+    One :class:`repro.core.history.HistoryIndex` serves the whole search:
+    its memoized visibility and cached ``beta | T`` slices are shared by
+    the order enumeration and every witness attempt.
     """
     serial = serial_projection(behavior)
-    index = StatusIndex(serial)
+    index = HistoryIndex(serial, system_type)
     tried = 0
     truncated = False
-    orders = enumerate_sibling_orders(serial, limit=max_orders + 1)
+    orders = enumerate_sibling_orders(serial, limit=max_orders + 1, index=index)
     for order in orders:
         if tried >= max_orders:
             truncated = True
@@ -114,7 +124,9 @@ def oracle_serially_correct(
             continue
         if validate_serial_behavior(witness, system_type):
             continue
-        if project_transaction(witness, ROOT) != project_transaction(serial, ROOT):
+        if project_transaction(witness, ROOT) != project_transaction(
+            serial, ROOT, index
+        ):
             continue
         return OracleResult(True, tried, witness=witness, order=order)
     return OracleResult(False, tried, truncated=truncated)

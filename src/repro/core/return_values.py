@@ -73,19 +73,40 @@ def check_appropriate_return_values(
         ops = operations_of_object(visible, obj, system_type)
         pairs = operation_payloads(ops, system_type)
         spec = system_type.spec(obj)
-        # Replay incrementally so the first offending access is reported.
-        for cut in range(1, len(pairs) + 1):
-            if not spec.is_legal(pairs[:cut]):
-                violations.append(
-                    ReturnValueViolation(
-                        obj,
-                        ops[cut - 1].transaction,
-                        f"operation {pairs[cut - 1]!r} is illegal after "
-                        f"{cut - 1} visible operation(s)",
-                    )
-                )
-                break
+        violation = _first_illegal(spec, obj, ops, pairs)
+        if violation is not None:
+            violations.append(violation)
     return violations
+
+
+def _first_illegal(spec, obj, ops, pairs) -> Optional[ReturnValueViolation]:
+    """The first offending access of an operation sequence, if any.
+
+    One linear replay via the spec's ``apply`` protocol; specs exposing
+    only ``is_legal`` fall back to prefix replays.
+    """
+    apply = getattr(spec, "apply", None)
+    if apply is not None:
+        state = spec.initial
+        for position, (op, value) in enumerate(pairs):
+            state, expected = apply(state, op)
+            if value != expected:
+                return ReturnValueViolation(
+                    obj,
+                    ops[position].transaction,
+                    f"operation {pairs[position]!r} is illegal after "
+                    f"{position} visible operation(s)",
+                )
+        return None
+    for cut in range(1, len(pairs) + 1):
+        if not spec.is_legal(pairs[:cut]):
+            return ReturnValueViolation(
+                obj,
+                ops[cut - 1].transaction,
+                f"operation {pairs[cut - 1]!r} is illegal after "
+                f"{cut - 1} visible operation(s)",
+            )
+    return None
 
 
 def has_appropriate_return_values(

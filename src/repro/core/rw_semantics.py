@@ -193,6 +193,14 @@ class RWSpec:
             return data
         raise TypeError(f"not a read/write operation: {op!r}")
 
+    def is_read_only(self, op: Any) -> bool:
+        """True iff ``op`` never changes the state — exactly the reads.
+
+        Same protocol as :meth:`repro.spec.datatype.DataType.is_read_only`;
+        conflict enumeration uses it to skip read/read pairs wholesale.
+        """
+        return isinstance(op, ReadOp)
+
     def conflicts(self, op1: Any, value1: Any, op2: Any, value2: Any) -> bool:
         """Two RW operations conflict iff at least one is a write."""
         return isinstance(op1, WriteOp) or isinstance(op2, WriteOp)

@@ -22,6 +22,7 @@ implemented in :mod:`repro.core.correctness`.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
@@ -35,6 +36,7 @@ from ..obs.metrics import MetricsRegistry
 from ..obs.tracer import NULL_TRACER, Tracer
 from .events import StatusIndex, visible_projection
 from .graph import CycleError, Digraph
+from .history import HistoryIndex, spec_is_read_only
 from .names import ROOT, ObjectName, SystemType, TransactionName, lca
 from .sibling_order import SiblingOrder
 
@@ -72,6 +74,7 @@ def conflict_pairs(
     behavior: Sequence[Action],
     system_type: SystemType,
     index: Optional[StatusIndex] = None,
+    indexed: bool = True,
 ) -> List[SiblingEdge]:
     """The ``conflict(beta)`` sibling relation (Sections 4 / 6.1).
 
@@ -80,7 +83,22 @@ def conflict_pairs(
     object contributes an edge between the children of the accesses'
     least common ancestor (unless one access descends from the other, in
     which case no sibling pair exists).
+
+    When ``index`` is a :class:`repro.core.history.HistoryIndex` covering
+    ``behavior`` (and ``indexed`` is left on), enumeration runs off the
+    index's per-object buckets: read-only runs are never compared against
+    each other — only pairs with at least one state-changing operation
+    reach the specification — and verdicts come from the index's shared
+    :class:`repro.core.history.ConflictCache`.  ``indexed=False`` forces
+    the all-pairs scan, kept as the A/B baseline.
     """
+    if (
+        indexed
+        and isinstance(index, HistoryIndex)
+        and index.system_type is system_type
+        and index.covers(behavior)
+    ):
+        return _conflict_pairs_indexed(index, system_type)
     index = index if index is not None else StatusIndex(behavior)
     visible = visible_projection(behavior, ROOT, index)
     per_object: Dict[ObjectName, List[Tuple[TransactionName, object, object]]] = {}
@@ -109,6 +127,55 @@ def conflict_pairs(
     return sorted(edges, key=lambda e: (e.source, e.target))
 
 
+def _conflict_pairs_indexed(
+    index: HistoryIndex, system_type: SystemType
+) -> List[SiblingEdge]:
+    """Sub-quadratic ``conflict(beta)`` over a covering :class:`HistoryIndex`.
+
+    For each object, classify the visible operations by read-only-ness
+    once; a read-only operation is compared only against the *writers*
+    after it (a read/read pair never conflicts — both operations preserve
+    the state, so they commute backward), while a writer is compared
+    against everything after it.  Each surviving pair's verdict is
+    memoized in the index's conflict cache.  Read-heavy histories drop
+    from O(k²) spec consultations to O(k·w) with ``w`` writers.
+    """
+    edges: Set[SiblingEdge] = set()
+    cache = index.conflict_cache
+    checked = 0
+    skipped = 0
+    for obj in index.objects_with_accesses():
+        spec = system_type.spec(obj)
+        events = index.visible_access_commits(obj)
+        k = len(events)
+        if k < 2:
+            continue
+        read_only = [spec_is_read_only(spec, entry[2]) for entry in events]
+        writer_positions = [i for i in range(k) if not read_only[i]]
+        compared = 0
+        for i in range(k):
+            _, name_i, op_i, value_i = events[i]
+            if read_only[i]:
+                partners = writer_positions[bisect_right(writer_positions, i) :]
+            else:
+                partners = range(i + 1, k)
+            for j in partners:
+                compared += 1
+                _, name_j, op_j, value_j = events[j]
+                if name_i.is_related_to(name_j):
+                    continue
+                if not cache.conflicts(spec, op_i, value_i, op_j, value_j):
+                    continue
+                depth = lca(name_i, name_j).depth + 1
+                edges.add(
+                    SiblingEdge(name_i.prefix(depth), name_j.prefix(depth), CONFLICT)
+                )
+        checked += compared
+        skipped += k * (k - 1) // 2 - compared
+    index.record_conflict_metrics(checked, skipped)
+    return sorted(edges, key=lambda e: (e.source, e.target))
+
+
 def precedes_pairs(
     behavior: Sequence[Action],
     index: Optional[StatusIndex] = None,
@@ -117,16 +184,35 @@ def precedes_pairs(
 
     ``(T, T')`` when the common parent is visible to ``T0`` and a report
     event for ``T`` occurs before a ``REQUEST_CREATE(T')`` in ``beta``.
+
+    A covering :class:`repro.core.history.HistoryIndex` supplies the
+    first-report and request-create position maps (grouped by parent), so
+    only same-parent candidates are examined; otherwise both maps are
+    rebuilt by a scan.
     """
+    if isinstance(index, HistoryIndex) and index.covers(behavior):
+        first_report = index.first_report
+        request_positions = index.request_create_positions
+        edges: Set[SiblingEdge] = set()
+        for reported, report_position in first_report.items():
+            parent = reported.parent
+            if not index.is_visible(parent, ROOT):
+                continue
+            for requested in index.requests_by_parent.get(parent, ()):
+                if requested == reported:
+                    continue
+                if report_position < request_positions[requested]:
+                    edges.add(SiblingEdge(reported, requested, PRECEDES))
+        return sorted(edges, key=lambda e: (e.source, e.target))
     index = index if index is not None else StatusIndex(behavior)
-    first_report: Dict[TransactionName, int] = {}
+    first_report = {}
     request_creates: Dict[TransactionName, int] = {}
     for position, action in enumerate(behavior):
         if is_report(action):
             first_report.setdefault(action.transaction, position)
         elif isinstance(action, RequestCreate):
             request_creates.setdefault(action.transaction, position)
-    edges: Set[SiblingEdge] = set()
+    edges = set()
     for reported, report_position in first_report.items():
         parent = reported.parent
         if not index.is_visible(parent, ROOT):
@@ -177,10 +263,14 @@ class SerializationGraph:
         )
 
     def edges(self) -> Iterator[SiblingEdge]:
-        """Iterate every edge of every sibling group, with its kind label."""
+        """Iterate every edge of every sibling group, with its kind label.
+
+        Labels arrive pre-sorted from :meth:`Digraph.edges` (sorted at
+        insert), so iteration does no per-edge sorting.
+        """
         for parent in self.parents():
             for src, dst, labels in self._graphs[parent].edges():
-                for label in sorted(labels) or [""]:
+                for label in labels or ("",):
                     yield SiblingEdge(src, dst, label)
 
     def edge_count(self) -> int:
@@ -219,7 +309,7 @@ class SerializationGraph:
             for node in self._graphs[parent].nodes():
                 graph.add_node(node, parent=parent)
             for src, dst, labels in self._graphs[parent].edges():
-                graph.add_edge(src, dst, kinds=sorted(labels))
+                graph.add_edge(src, dst, kinds=list(labels))
         return graph
 
     def __repr__(self) -> str:
@@ -235,6 +325,7 @@ def build_serialization_graph(
     index: Optional[StatusIndex] = None,
     tracer: Optional[Tracer] = None,
     metrics: Optional[MetricsRegistry] = None,
+    indexed: bool = True,
 ) -> SerializationGraph:
     """Construct ``SG(beta)`` from a sequence of serial actions.
 
@@ -243,19 +334,26 @@ def build_serialization_graph(
     creation was requested under a parent visible to ``T0``, so that
     topological sorting yields an order covering all relevant siblings.
 
-    ``tracer`` adds sub-phase spans (node seeding, conflict and precedes
-    enumeration); ``metrics`` records node/edge gauges.  Both default to
-    no-ops.
+    With no ``index``, one :class:`repro.core.history.HistoryIndex` is
+    built here and drives every phase; ``indexed=False`` keeps the naive
+    :class:`StatusIndex` scans as the A/B baseline.  ``tracer`` adds
+    sub-phase spans (node seeding, conflict and precedes enumeration);
+    ``metrics`` records node/edge gauges.  Both default to no-ops.
     """
     tracer = tracer if tracer is not None else NULL_TRACER
-    index = index if index is not None else StatusIndex(behavior)
+    if index is None:
+        index = (
+            HistoryIndex(behavior, system_type, metrics)
+            if indexed
+            else StatusIndex(behavior)
+        )
     sg = SerializationGraph()
     with tracer.span("sg.seed_nodes"):
         for transaction in index.create_requested:
             if index.is_visible(transaction.parent, ROOT):
                 sg.add_node(transaction)
     with tracer.span("sg.conflict_pairs", events=len(behavior)):
-        conflicts = conflict_pairs(behavior, system_type, index)
+        conflicts = conflict_pairs(behavior, system_type, index, indexed=indexed)
         for edge in conflicts:
             sg.add_edge(edge)
     with tracer.span("sg.precedes_pairs"):

@@ -21,6 +21,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 from .actions import Action, hightransaction, is_serial_action, lowtransaction
 from .events import AffectsRelation, StatusIndex, visible_projection
 from .graph import Digraph
+from .history import HistoryIndex
 from .names import TransactionName, lca
 
 __all__ = ["SiblingOrder", "is_suitable", "consistent_partial_orders"]
@@ -97,11 +98,8 @@ class SiblingOrder:
         """``R_trans``: descendants of ``R``-related siblings are related."""
         if first == second or first.is_related_to(second):
             return False
-        ancestor = lca(first, second)
-        depth = ancestor.depth
-        child_first = TransactionName(first.path[: depth + 1])
-        child_second = TransactionName(second.path[: depth + 1])
-        return self.holds(child_first, child_second)
+        depth = lca(first, second).depth + 1
+        return self.holds(first.prefix(depth), second.prefix(depth))
 
     def event_pairs(self, behavior: Sequence[Action]) -> List[Tuple[int, int]]:
         """``R_event(beta)`` as index pairs over the serial events of ``beta``."""
@@ -182,8 +180,11 @@ def is_suitable(
        actions in ``visible(behavior, to)``.
     2. ``R_event(behavior)`` and ``affects(behavior)`` must be consistent
        partial orders on the events of ``visible(behavior, to)``.
+
+    With no ``index``, a :class:`repro.core.history.HistoryIndex` is
+    built so the per-event visibility tests below hit memoized verdicts.
     """
-    index = index if index is not None else StatusIndex(behavior)
+    index = index if index is not None else HistoryIndex(behavior)
     visible_indices = [
         i
         for i, action in enumerate(behavior)

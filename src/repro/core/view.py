@@ -24,6 +24,7 @@ from typing import List, Optional, Sequence
 
 from .actions import Action, Behavior, RequestCommit
 from .events import StatusIndex, visible_projection
+from .history import HistoryIndex
 from .names import ObjectName, SystemType, TransactionName
 from .operations import Operation, operation_payloads, perform
 from .return_values import ReturnValueViolation
@@ -77,14 +78,19 @@ def serializability_theorem_applies(
     to: TransactionName,
     order: SiblingOrder,
     system_type: SystemType,
+    index: Optional[StatusIndex] = None,
 ) -> List[str]:
     """Check the hypotheses of Theorem 2 for ``behavior``, ``to``, ``order``.
 
     Returns problem descriptions; an empty list means the theorem
-    applies and ``behavior`` is serially correct for ``to``.
+    applies and ``behavior`` is serially correct for ``to``.  One shared
+    :class:`repro.core.history.HistoryIndex` (built here unless passed
+    in) serves the orphan test, the suitability check, and every
+    per-object view.
     """
     problems: List[str] = []
-    index = StatusIndex(behavior)
+    if index is None:
+        index = HistoryIndex(behavior, system_type)
     if index.is_orphan(to):
         problems.append(f"{to} is an orphan in the behavior")
     if not is_suitable(order, behavior, to, index):

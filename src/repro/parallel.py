@@ -73,13 +73,14 @@ class CaseVerdict:
         return f"{self.label}: {status} [{self.events} events]{suffix}"
 
 
-def _judge_case(case: Case, validate_input: bool) -> CaseVerdict:
+def _judge_case(case: Case, validate_input: bool, indexed: bool = True) -> CaseVerdict:
     label, behavior, system_type = case
     certificate = certify(
         behavior,
         system_type,
         construct_witness=False,
         validate_input=validate_input,
+        indexed=indexed,
     )
     return CaseVerdict(
         label,
@@ -91,10 +92,11 @@ def _judge_case(case: Case, validate_input: bool) -> CaseVerdict:
     )
 
 
-def _certify_shard(payload: Tuple[List[Tuple[int, Case]], bool]):
-    shard, validate_input = payload
+def _certify_shard(payload: Tuple[List[Tuple[int, Case]], bool, bool]):
+    shard, validate_input, indexed = payload
     return [
-        (position, _judge_case(case, validate_input)) for position, case in shard
+        (position, _judge_case(case, validate_input, indexed))
+        for position, case in shard
     ]
 
 
@@ -118,6 +120,7 @@ def certify_corpus(
     jobs: int = 1,
     validate_input: bool = False,
     metrics: Optional[MetricsRegistry] = None,
+    indexed: bool = True,
 ) -> List[CaseVerdict]:
     """Batch-certify a corpus of behaviors, sharded over ``jobs`` workers.
 
@@ -126,13 +129,15 @@ def certify_corpus(
     suite asserts ``jobs=1`` and ``jobs=4`` verdict-equivalence on
     randomized corpora).  ``jobs <= 1`` — or a corpus of one — runs
     inline in this process.  ``metrics`` records the shard fan-out and
-    accept/reject counts.
+    accept/reject counts.  Each case's :func:`repro.core.certify` builds
+    one shared history index per behavior; ``indexed=False`` selects the
+    naive per-phase scans (the A/B baseline).
     """
     if jobs < 1:
         raise ValueError("jobs must be at least 1")
     jobs = min(jobs, len(cases)) if cases else 1
     if jobs <= 1:
-        verdicts = [_judge_case(case, validate_input) for case in cases]
+        verdicts = [_judge_case(case, validate_input, indexed) for case in cases]
         shards = 1 if cases else 0
     else:
         sharded = _shard(cases, jobs)
@@ -140,7 +145,7 @@ def certify_corpus(
         with _pool_context().Pool(jobs) as pool:
             chunks = pool.map(
                 _certify_shard,
-                [(shard, validate_input) for shard in sharded],
+                [(shard, validate_input, indexed) for shard in sharded],
             )
         ordered: List[Tuple[int, CaseVerdict]] = [
             entry for chunk in chunks for entry in chunk
