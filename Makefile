@@ -1,6 +1,6 @@
 # Convenience targets for the repro library.
 
-.PHONY: install test bench bench-smoke examples scenarios trace-demo docs ci all
+.PHONY: install test bench bench-smoke examples scenarios trace-demo docs lint typecheck ci all
 
 install:
 	pip install -e . || python setup.py develop
@@ -35,8 +35,22 @@ trace-demo:
 docs:
 	python tools/run_doc_examples.py README.md docs/TUTORIAL.md docs/ARCHITECTURE.md docs/PERFORMANCE.md
 
-# Mirror the GitHub Actions CI job locally
-ci:
+# Project static analysis: AST rules R001-R004, spec soundness, docs
+# drift. Exit 1 on any finding; see docs/STATIC_ANALYSIS.md.
+lint:
+	PYTHONPATH=src python -m repro lint
+
+# mypy --strict over repro.core + repro.analysis (config in
+# pyproject.toml); skipped gracefully where mypy is not installed.
+typecheck:
+	@if python -c "import mypy" 2>/dev/null; then \
+		PYTHONPATH=src python -m mypy; \
+	else \
+		echo "typecheck: mypy not installed, skipping (pip install mypy)"; \
+	fi
+
+# Mirror the GitHub Actions CI jobs locally
+ci: lint typecheck
 	PYTHONPATH=src python -m pytest -x -q
 
 all: test bench examples

@@ -1,0 +1,183 @@
+"""R004 — automaton action handlers guard before deriving state.
+
+The I/O-automaton contract (:mod:`repro.automata.base`) is that
+``effect(state, action)`` is *functional*: it dispatches on the action,
+derives a **new** state, and never mutates its argument — the
+exploration utilities (schedule replay, enabled-action enumeration)
+branch on shared states and would corrupt each other otherwise.  For
+every ``effect``/``step`` method with the ``(self, state, action)``
+shape this rule enforces:
+
+* **precondition first** — the handler inspects the action (an
+  ``isinstance``/``match`` dispatch, a signature predicate such as
+  ``is_input``/``is_action``/``enabled``, or delegation to a
+  sub-automaton's ``effect``) before returning a derived state;
+* **no in-place mutation** — no assignment to an attribute or item of
+  the state parameter, and no call of a known mutating method
+  (``append``, ``add``, ``update``, ...) on it.
+
+Abstract declarations (docstring-only, ``...``, ``pass`` or a lone
+``raise``) are skipped.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Tuple
+
+from ..linter import Finding, LintContext, ModuleUnit, Rule
+
+__all__ = ["AutomatonPreconditionRule"]
+
+#: Handler names the rule applies to.
+_HANDLER_NAMES = ("effect", "step")
+
+#: Methods that mutate their receiver in place.
+_MUTATORS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "add",
+        "remove",
+        "discard",
+        "pop",
+        "popitem",
+        "clear",
+        "update",
+        "setdefault",
+        "sort",
+        "reverse",
+    }
+)
+
+#: Calls that count as consulting the action's precondition.
+_GUARD_CALLS = frozenset({"isinstance", "is_input", "is_output", "is_action", "enabled"})
+
+
+def _is_trivial_body(body: List[ast.stmt]) -> bool:
+    """Docstring-only / ``...`` / ``pass`` / lone ``raise`` bodies."""
+    statements = list(body)
+    if (
+        statements
+        and isinstance(statements[0], ast.Expr)
+        and isinstance(statements[0].value, ast.Constant)
+        and isinstance(statements[0].value.value, str)
+    ):
+        statements = statements[1:]
+    if not statements:
+        return True
+    if len(statements) == 1:
+        only = statements[0]
+        if isinstance(only, (ast.Pass, ast.Raise)):
+            return True
+        if isinstance(only, ast.Expr) and isinstance(only.value, ast.Constant):
+            return only.value.value is Ellipsis
+    return False
+
+
+def _handler_params(node: ast.AST) -> Optional[Tuple[str, str]]:
+    """``(state, action)`` parameter names of a matching handler, or None."""
+    if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return None
+    if node.name not in _HANDLER_NAMES:
+        return None
+    positional = node.args.posonlyargs + node.args.args
+    if len(positional) < 3:
+        return None
+    return positional[1].arg, positional[2].arg
+
+
+def _mentions(expression: ast.AST, name: str) -> bool:
+    return any(
+        isinstance(node, ast.Name) and node.id == name
+        for node in ast.walk(expression)
+    )
+
+
+def _has_action_guard(function: ast.AST, action: str) -> bool:
+    """Does the handler dispatch on (or delegate for) the action?"""
+    for node in ast.walk(function):
+        if isinstance(node, (ast.If, ast.IfExp)) and _mentions(node.test, action):
+            return True
+        if isinstance(node, ast.Match) and _mentions(node.subject, action):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            name = (
+                func.id
+                if isinstance(func, ast.Name)
+                else func.attr if isinstance(func, ast.Attribute) else None
+            )
+            if name in _GUARD_CALLS and any(
+                _mentions(arg, action) for arg in node.args
+            ):
+                return True
+            if name in _HANDLER_NAMES and isinstance(func, ast.Attribute):
+                return True  # delegation to a sub-automaton handler
+    return False
+
+
+def _root_name(node: ast.expr) -> Optional[str]:
+    """The name at the root of an attribute/subscript chain, if any."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+def _state_mutations(function: ast.AST, state: str) -> Iterator[ast.AST]:
+    """Statements that mutate the ``state`` parameter in place."""
+    for node in ast.walk(function):
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                if (
+                    isinstance(target, (ast.Attribute, ast.Subscript))
+                    and _root_name(target) == state
+                ):
+                    yield node
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _MUTATORS
+            and _root_name(node.func.value) == state
+        ):
+            yield node
+
+
+class AutomatonPreconditionRule(Rule):
+    """R004: handlers check the action and never mutate the state in place."""
+
+    rule_id = "R004"
+    title = "automaton handlers guard before deriving state"
+    tags = ("precondition",)
+
+    def check_module(
+        self, unit: ModuleUnit, context: LintContext
+    ) -> Iterator[Finding]:
+        """Check every ``effect``/``step`` handler defined in this module."""
+        for node in ast.walk(unit.tree):
+            params = _handler_params(node)
+            if params is None:
+                continue
+            assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            if _is_trivial_body(node.body):
+                continue
+            state, action = params
+            if not _has_action_guard(node, action):
+                yield Finding(
+                    self.rule_id,
+                    unit.display_path,
+                    node.lineno,
+                    f"{node.name}() derives a new state without checking "
+                    f"its precondition on '{action}' first (dispatch with "
+                    "isinstance/match or a signature predicate)",
+                )
+            for mutation in _state_mutations(node, state):
+                yield Finding(
+                    self.rule_id,
+                    unit.display_path,
+                    mutation.lineno,
+                    f"{node.name}() mutates parameter '{state}' in place — "
+                    "effects are functional and must return a new state",
+                )

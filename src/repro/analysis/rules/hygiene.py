@@ -1,0 +1,95 @@
+"""R002 — library-code hygiene: no prints, bare excepts, mutable defaults.
+
+Library modules must not write to stdout (``print`` belongs to the CLI
+layer), must not swallow arbitrary exceptions with a bare ``except:``
+(``KeyboardInterrupt``/``SystemExit`` included), and must not use
+mutable default argument values (the classic shared-state footgun; the
+meta tests require determinism, and a mutated default is cross-call
+state).  The CLI modules are exempt from the print check by name.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple
+
+from ..linter import Finding, LintContext, ModuleUnit, Rule
+
+__all__ = ["HygieneRule"]
+
+#: Calls producing a fresh mutable object — disallowed as defaults.
+_MUTABLE_FACTORIES = ("list", "dict", "set", "bytearray")
+
+
+def _mutable_default(default: Optional[ast.expr]) -> Optional[str]:
+    """A description of the mutable default, or None when it is fine."""
+    if default is None:
+        return None
+    if isinstance(default, (ast.List, ast.ListComp)):
+        return "list"
+    if isinstance(default, (ast.Dict, ast.DictComp)):
+        return "dict"
+    if isinstance(default, (ast.Set, ast.SetComp)):
+        return "set"
+    if (
+        isinstance(default, ast.Call)
+        and isinstance(default.func, ast.Name)
+        and default.func.id in _MUTABLE_FACTORIES
+    ):
+        return default.func.id
+    return None
+
+
+class HygieneRule(Rule):
+    """R002: no ``print``, bare ``except:``, or mutable default arguments."""
+
+    rule_id = "R002"
+    title = "library-code hygiene"
+    tags = ("hygiene", "print")
+
+    #: Module basenames allowed to print (the user-facing CLI layer).
+    print_allowed: Tuple[str, ...] = ("cli.py", "__main__.py")
+
+    def check_module(
+        self, unit: ModuleUnit, context: LintContext
+    ) -> Iterator[Finding]:
+        """Scan one module for the three hygiene violations."""
+        allow_print = unit.path.name in self.print_allowed
+        for node in ast.walk(unit.tree):
+            if (
+                not allow_print
+                and isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                yield Finding(
+                    self.rule_id,
+                    unit.display_path,
+                    node.lineno,
+                    "print() in library code — return or log instead "
+                    "(only the CLI layer talks to stdout)",
+                )
+            elif isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield Finding(
+                    self.rule_id,
+                    unit.display_path,
+                    node.lineno,
+                    "bare 'except:' swallows SystemExit/KeyboardInterrupt — "
+                    "name the exceptions you can handle",
+                )
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                args = node.args
+                defaults = list(args.defaults) + [
+                    default for default in args.kw_defaults if default is not None
+                ]
+                for default in defaults:
+                    kind = _mutable_default(default)
+                    if kind is not None:
+                        name = getattr(node, "name", "<lambda>")
+                        yield Finding(
+                            self.rule_id,
+                            unit.display_path,
+                            default.lineno,
+                            f"mutable default argument ({kind}) in {name}() "
+                            "— use None and create it in the body",
+                        )

@@ -1,0 +1,102 @@
+"""R003 — no quadratic membership patterns in ``core/`` hot paths.
+
+The certifier's hot paths (``repro.core``) were made sub-quadratic on
+purpose (PR 3's history index); this rule keeps accidental quadratic
+patterns from creeping back.  Inside any ``for``/``while`` loop in a
+hot-path module it flags:
+
+* membership tests against a list-producing expression — ``x in [...]``,
+  ``x in list(...)``, ``x in sorted(...)``, ``x in [.. for ..]`` — which
+  re-scan O(n) per iteration (use a set/dict built once outside);
+* ``.index()`` calls, which are a linear scan per iteration.
+
+Deliberately quadratic code (bounded domains, diagnostics) is tagged
+``# lint: allow-quadratic`` on the offending line *or* on the header
+line of the enclosing loop.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Tuple
+
+from ..linter import Finding, LintContext, ModuleUnit, Rule
+
+__all__ = ["QuadraticPatternRule"]
+
+#: Builtins whose call result is a freshly-built list.
+_LIST_BUILTINS = ("list", "sorted")
+
+
+def _is_list_expression(node: ast.expr) -> bool:
+    """Is this expression guaranteed to evaluate to a (fresh) list?"""
+    if isinstance(node, (ast.List, ast.ListComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in _LIST_BUILTINS
+    )
+
+
+class QuadraticPatternRule(Rule):
+    """R003: no per-iteration linear scans inside hot-path loops."""
+
+    rule_id = "R003"
+    title = "no quadratic patterns in core/ hot paths"
+    tags = ("quadratic",)
+
+    #: Path components marking a module as hot-path.
+    hot_parts: Tuple[str, ...] = ("core",)
+
+    def check_module(
+        self, unit: ModuleUnit, context: LintContext
+    ) -> Iterator[Finding]:
+        """Scan hot-path modules for quadratic loop bodies."""
+        if not any(part in unit.path.parts for part in self.hot_parts):
+            return
+        yield from self._scan(unit, unit.tree, loop_headers=[])
+
+    def _scan(
+        self, unit: ModuleUnit, node: ast.AST, loop_headers: List[int]
+    ) -> Iterator[Finding]:
+        """Depth-first walk tracking the enclosing loop header lines."""
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.For, ast.AsyncFor, ast.While)):
+                yield from self._scan(unit, child, loop_headers + [child.lineno])
+                continue
+            if loop_headers and not self._headers_allow(unit, loop_headers):
+                yield from self._check_node(unit, child)
+            yield from self._scan(unit, child, loop_headers)
+
+    def _headers_allow(self, unit: ModuleUnit, loop_headers: List[int]) -> bool:
+        tags = self.suppression_tags()
+        return any(unit.line_allows(line, tags) for line in loop_headers)
+
+    def _check_node(self, unit: ModuleUnit, node: ast.AST) -> Iterator[Finding]:
+        if isinstance(node, ast.Compare) and any(
+            isinstance(op, (ast.In, ast.NotIn)) for op in node.ops
+        ):
+            for comparator in node.comparators:
+                if _is_list_expression(comparator):
+                    yield Finding(
+                        self.rule_id,
+                        unit.display_path,
+                        node.lineno,
+                        "membership test against a list inside a loop — "
+                        "build a set once outside the loop "
+                        "(or tag '# lint: allow-quadratic')",
+                    )
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "index"
+        ):
+            yield Finding(
+                self.rule_id,
+                unit.display_path,
+                node.lineno,
+                ".index() inside a loop is a linear scan per iteration — "
+                "precompute a position map "
+                "(or tag '# lint: allow-quadratic')",
+            )

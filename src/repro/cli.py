@@ -8,6 +8,7 @@ Subcommands::
     python -m repro audit  run.json [--dot graph.dot] [--oracle]
     python -m repro audit  corpus-*.json --jobs 4
     python -m repro trace  [--seed N] --out trace.jsonl
+    python -m repro lint   [--json] [--rules R001 spec drift]
 
 ``record`` simulates a nested-transaction workload and writes the
 (behavior, system type) pair as JSON; with ``--runs N`` it records a
@@ -24,6 +25,12 @@ JSONL span trace plus a metrics snapshot (see ``docs/OBSERVABILITY.md``
 for the schema); ``demo``/``record``/``audit`` accept ``--metrics-json``
 for the snapshot alone, and ``demo`` additionally ``--stats-json`` for
 the raw run counters.
+
+``lint`` runs the project static analysis (:mod:`repro.analysis`): the
+AST rules R001–R004, the spec-soundness checker and the docs drift
+detectors.  Exit status is 0 when clean, 1 when any problem is found,
+2 on a usage error; ``--json`` emits one machine-readable report (see
+``docs/STATIC_ANALYSIS.md``).
 """
 
 from __future__ import annotations
@@ -334,6 +341,112 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
     return 0
 
 
+class _LintSelectionError(ValueError):
+    """An unknown ``--rules`` token (reported as a usage error, exit 2)."""
+
+
+def _lint_selection(tokens: Sequence[str]):
+    """Split ``--rules`` tokens into (ast rule ids, run_spec, run_drift)."""
+    from .analysis.rules import all_rules
+
+    known_ids = {rule.rule_id for rule in all_rules()}
+    if not tokens:
+        return sorted(known_ids), True, True
+    rule_ids, run_spec, run_drift = [], False, False
+    for token in tokens:
+        for piece in token.split(","):
+            piece = piece.strip()
+            if not piece:
+                continue
+            upper = piece.upper()
+            if upper in known_ids:
+                rule_ids.append(upper)
+            elif piece.lower() == "spec":
+                run_spec = True
+            elif piece.lower() == "drift":
+                run_drift = True
+            else:
+                raise _LintSelectionError(
+                    f"unknown lint rule '{piece}' (known: "
+                    f"{', '.join(sorted(known_ids))}, spec, drift)"
+                )
+    return rule_ids, run_spec, run_drift
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis import (
+        check_all_builtin_specs,
+        check_all_drift,
+        lint_paths,
+    )
+    from .analysis.rules import rule_by_id
+
+    # argparse's greedy nargs lets `--rules R002 path/to/mod.py` bind the
+    # path as a rules token; reclaim tokens that name existing files/dirs.
+    rule_tokens, extra_paths = [], []
+    for token in args.rules or []:
+        if ("/" in token or token.endswith(".py")) and Path(token).exists():
+            extra_paths.append(token)
+        else:
+            rule_tokens.append(token)
+    try:
+        rule_ids, run_spec, run_drift = _lint_selection(rule_tokens)
+    except _LintSelectionError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+    repo_root = (
+        Path(args.root).resolve()
+        if args.root
+        else Path(__file__).resolve().parents[2]
+    )
+    findings = []
+    if rule_ids:
+        rules = [rule_by_id(rule_id) for rule_id in rule_ids]
+        tests_root = repo_root / "tests"
+        explicit = [Path(path) for path in (*args.paths, *extra_paths)]
+        targets = explicit or [repo_root / "src" / "repro"]
+        for target in targets:
+            findings.extend(lint_paths(target, rules, tests_root=tests_root))
+    spec_reports = check_all_builtin_specs() if run_spec else []
+    spec_problems = [
+        problem for report in spec_reports for problem in report.problems
+    ]
+    drift_problems = check_all_drift(repo_root) if run_drift else []
+    total = len(findings) + len(spec_problems) + len(drift_problems)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "ok": total == 0,
+                    "problems": total,
+                    "findings": [finding.to_dict() for finding in findings],
+                    "spec_reports": [
+                        report.to_dict() for report in spec_reports
+                    ],
+                    "drift": [
+                        problem.to_dict() for problem in drift_problems
+                    ],
+                },
+                indent=2,
+            )
+        )
+    else:
+        for finding in findings:
+            print(finding)
+        for problem in spec_problems:
+            print(problem)
+        for problem in drift_problems:
+            print(problem)
+        if run_spec:
+            certified = sum(1 for report in spec_reports if report.ok)
+            print(
+                f"spec-check: {certified}/{len(spec_reports)} specs certified"
+            )
+        print("repro lint: clean" if total == 0 else
+              f"repro lint: {total} problem(s)")
+    return 0 if total == 0 else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for the ``repro`` CLI."""
     parser = argparse.ArgumentParser(
@@ -411,6 +524,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     scenarios.add_argument("name", nargs="?", help="a single scenario to judge")
     scenarios.set_defaults(func=_cmd_scenarios)
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="run the project static analysis (AST rules, spec "
+             "soundness, docs drift)",
+        description="Exit status: 0 clean, 1 problems found, 2 usage "
+                    "error. See docs/STATIC_ANALYSIS.md.",
+    )
+    lint.add_argument("paths", nargs="*", metavar="path",
+                      help="files/directories for the AST rules "
+                           "(default: src/repro)")
+    lint.add_argument("--json", action="store_true",
+                      help="emit one machine-readable JSON report on stdout")
+    lint.add_argument("--rules", nargs="*", metavar="RULE",
+                      help="run only these engines: rule ids (R001...), "
+                           "'spec', 'drift'; comma- or space-separated "
+                           "(default: everything)")
+    lint.add_argument("--root", metavar="PATH",
+                      help="repository root for tests/docs discovery "
+                           "(default: inferred from the package location)")
+    lint.set_defaults(func=_cmd_lint)
     return parser
 
 

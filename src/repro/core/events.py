@@ -18,7 +18,17 @@ on *events* are represented as relations on event indices.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from .actions import (
     Abort,
@@ -237,7 +247,7 @@ def directly_affects_pairs(behavior: Sequence[Action]) -> List[Tuple[int, int]]:
                 pairs.append((earlier, i))
             positions.append(i)
 
-    def matching_positions(predicate) -> List[int]:
+    def matching_positions(predicate: Callable[[Action], bool]) -> List[int]:
         return [i for i, action in serial_events if predicate(action)]
 
     for j, action in serial_events:

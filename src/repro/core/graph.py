@@ -9,7 +9,9 @@ draw or further analyse the graphs (networkx is an optional import).
 from __future__ import annotations
 
 from typing import (
+    Any,
     Dict,
+    FrozenSet,
     Generic,
     Hashable,
     Iterable,
@@ -29,7 +31,7 @@ N = TypeVar("N", bound=Hashable)
 class CycleError(ValueError):
     """Raised when a topological sort is requested on a cyclic graph."""
 
-    def __init__(self, cycle: List) -> None:
+    def __init__(self, cycle: List[Any]) -> None:
         super().__init__(f"graph contains a cycle: {' -> '.join(map(str, cycle))}")
         self.cycle = cycle
 
@@ -76,7 +78,7 @@ class Digraph(Generic[N]):
     def has_edge(self, src: N, dst: N) -> bool:
         return src in self._succ and dst in self._succ[src]
 
-    def edge_labels(self, src: N, dst: N) -> frozenset:
+    def edge_labels(self, src: N, dst: N) -> FrozenSet[str]:
         return frozenset(self._succ[src][dst])
 
     def successors(self, node: N) -> Tuple[N, ...]:
@@ -187,7 +189,7 @@ class Digraph(Generic[N]):
                     sub.add_edge(src, dst, label)
         return sub
 
-    def to_networkx(self):
+    def to_networkx(self) -> Any:
         """Export as a ``networkx.DiGraph`` (labels under the ``kinds`` key)."""
         import networkx as nx
 

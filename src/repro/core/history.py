@@ -95,7 +95,7 @@ class ConflictCache:
     """
 
     def __init__(self) -> None:
-        self._verdicts: Dict[Tuple, bool] = {}
+        self._verdicts: Dict[Tuple[Any, ...], bool] = {}
         self.hits = 0
         self.misses = 0
 

@@ -41,7 +41,7 @@ from .actions import (
     is_report,
     is_serial_action,
 )
-from .graph import IncrementalTopology
+from .graph import Digraph, IncrementalTopology
 from .history import ConflictCache, spec_is_read_only
 from .names import ROOT, ObjectName, SystemType, TransactionName, lca
 from .serialization_graph import CONFLICT, PRECEDES, SerializationGraph, SiblingEdge
@@ -418,7 +418,9 @@ class OnlineCertifier:
             else:
                 self._check_cycle_naive(edge, group)
 
-    def _check_cycle_naive(self, edge: SiblingEdge, group) -> None:
+    def _check_cycle_naive(
+        self, edge: SiblingEdge, group: Digraph[TransactionName]
+    ) -> None:
         """The A/B baseline: full DFS over the sibling group per new edge."""
         if self.metrics is not None:
             self.metrics.inc("online.cycle_checks")

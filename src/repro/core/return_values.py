@@ -79,7 +79,12 @@ def check_appropriate_return_values(
     return violations
 
 
-def _first_illegal(spec, obj, ops, pairs) -> Optional[ReturnValueViolation]:
+def _first_illegal(
+    spec: Any,
+    obj: ObjectName,
+    ops: Sequence[Any],
+    pairs: Sequence[Tuple[Any, Any]],
+) -> Optional[ReturnValueViolation]:
     """The first offending access of an operation sequence, if any.
 
     One linear replay via the spec's ``apply`` protocol; specs exposing

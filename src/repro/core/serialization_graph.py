@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from bisect import bisect_right
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from .actions import (
     Action,
@@ -238,7 +238,7 @@ class SerializationGraph:
     def __init__(self) -> None:
         self._graphs: Dict[TransactionName, Digraph[TransactionName]] = {}
 
-    def graph_for(self, parent: TransactionName) -> Digraph:
+    def graph_for(self, parent: TransactionName) -> Digraph[TransactionName]:
         """The (created-on-demand) digraph of the sibling group under ``parent``."""
         if parent not in self._graphs:
             self._graphs[parent] = Digraph()
@@ -300,7 +300,7 @@ class SerializationGraph:
             order.set_order(parent, self._graphs[parent].topological_sort())
         return order
 
-    def to_networkx(self):
+    def to_networkx(self) -> Any:
         """Export the union of all sibling graphs as one networkx DiGraph."""
         import networkx as nx
 

@@ -135,7 +135,7 @@ class SiblingOrder:
         """
         ranks = self._rank.get(parent, {})
 
-        def key(child: TransactionName):
+        def key(child: TransactionName) -> Tuple[int, object]:
             return (0, ranks[child]) if child in ranks else (1, child)
 
         return sorted(children, key=key)

@@ -191,7 +191,12 @@ class _ActiveSpan:
     def __enter__(self) -> "_ActiveSpan":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: Optional[type],
+        exc: Optional[BaseException],
+        tb: Optional[Any],
+    ) -> bool:
         self._tracer._finish(self.span, failed=exc_type is not None)
         return False
 
@@ -207,7 +212,12 @@ class _NullSpan:
     def __enter__(self) -> "_NullSpan":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: Optional[type],
+        exc: Optional[BaseException],
+        tb: Optional[Any],
+    ) -> bool:
         return False
 
 

@@ -137,7 +137,9 @@ def certify_corpus(
         raise ValueError("jobs must be at least 1")
     jobs = min(jobs, len(cases)) if cases else 1
     if jobs <= 1:
-        verdicts = [_judge_case(case, validate_input, indexed) for case in cases]
+        verdicts = [
+            _judge_case(case, validate_input, indexed=indexed) for case in cases
+        ]
         shards = 1 if cases else 0
     else:
         sharded = _shard(cases, jobs)

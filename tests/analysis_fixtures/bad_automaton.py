@@ -1,0 +1,41 @@
+"""Known-bad fixture for R004: unguarded and mutating action handlers."""
+
+
+class UnguardedAutomaton:
+    """Derives a new state without ever inspecting the action."""
+
+    def effect(self, state, action):  # no precondition check -> R004
+        return state + 1
+
+
+class MutatingAutomaton:
+    """Checks the action but then mutates the state argument in place."""
+
+    def effect(self, state, action):
+        if not isinstance(action, int):
+            raise ValueError(action)
+        state.pending.append(action)  # in-place mutation -> R004
+        state.count += 1  # in-place mutation -> R004
+        return state
+
+
+class WellBehavedAutomaton:
+    """Guards on the action and derives a fresh state: no findings."""
+
+    def effect(self, state, action):
+        if not isinstance(action, int):
+            raise ValueError(action)
+        return state + action
+
+    def step(self, state, action):
+        return self.effect(state, action)  # delegation counts as a guard
+
+
+class AbstractAutomaton:
+    """Trivial declarations are skipped."""
+
+    def effect(self, state, action):
+        """The abstract contract; subclasses dispatch on the action."""
+
+    def step(self, state, action):
+        ...

@@ -1,0 +1,27 @@
+"""Known-bad fixture for R002: print, bare except, mutable defaults.
+
+Never imported — parsed by the lint engine in ``tests/test_analysis.py``.
+"""
+
+
+def report(results, sink=[]):  # mutable default -> R002
+    print("results:", results)  # print in library code -> R002
+    try:
+        sink.append(results)
+    except:  # bare except -> R002
+        pass
+    return sink
+
+
+def tabulate(rows, cache={}):  # mutable default -> R002
+    quiet_print = print  # aliasing alone is fine; only calls are flagged
+    return quiet_print, len(rows), cache
+
+
+def fresh(items=list()):  # mutable factory default -> R002
+    return items
+
+
+def allowed(results):
+    print("suppressed:", results)  # lint: allow-R002
+    return results

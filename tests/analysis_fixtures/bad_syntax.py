@@ -1,0 +1,4 @@
+"""Known-bad fixture: unparsable module (E000)."""
+
+def broken(:
+    return

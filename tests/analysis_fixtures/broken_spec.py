@@ -1,0 +1,52 @@
+"""Known-bad specs for the spec-soundness checker (S001–S003).
+
+Each class breaks exactly one property the checker proves:
+
+* :class:`AsymmetricSpec` — ``conflicts`` depends on argument order
+  (S001);
+* :class:`LyingReadOnlySpec` — claims its increment is read-only
+  (S002, ``read_only_claim``) and lets two "read-only" operations
+  conflict (S002, ``read_only_conflict``);
+* :class:`OverCommutingSpec` — claims *everything* commutes backward,
+  including a read with the increment that changed the value it
+  returned, which the definitional check refutes (S003).
+
+All three reuse the counter operations from ``repro.spec.builtin``.
+"""
+
+from repro.spec.builtin import CounterInc, CounterRead, CounterType
+
+
+class AsymmetricSpec(CounterType):
+    """Breaks symmetry: (inc, read) conflicts but (read, inc) commutes."""
+
+    type_name = "asymmetric-counter"
+
+    def commutes_backward(self, op1, value1, op2, value2):
+        if isinstance(op1, CounterInc) and isinstance(op2, CounterRead):
+            return False
+        return True
+
+
+class LyingReadOnlySpec(CounterType):
+    """Claims CounterInc is read-only (it mutates every state)."""
+
+    type_name = "lying-read-only-counter"
+
+    def is_read_only(self, op):
+        return True  # even for CounterInc
+
+    def commutes_backward(self, op1, value1, op2, value2):
+        # Two "read-only" ops that conflict: breaks the fast path too.
+        return not (
+            isinstance(op1, CounterRead) and isinstance(op2, CounterRead)
+        )
+
+
+class OverCommutingSpec(CounterType):
+    """Claims everything commutes — reads included — which is false."""
+
+    type_name = "over-commuting-counter"
+
+    def commutes_backward(self, op1, value1, op2, value2):
+        return True

@@ -1,0 +1,42 @@
+"""Known-bad fixture for R003: quadratic scans inside hot-path loops.
+
+Lives under a ``core/`` directory on purpose — R003 only fires on
+hot-path modules.
+"""
+
+
+def find_dupes(events, interesting):
+    dupes = []
+    for event in events:
+        if event in [e for e in events if e.name == event.name]:  # -> R003
+            dupes.append(event)
+        if event in list(interesting):  # -> R003
+            dupes.append(event)
+    return dupes
+
+
+def positions(events, order):
+    out = []
+    for event in events:
+        out.append(order.index(event))  # -> R003
+    return out
+
+
+def bounded_scan(events, allowed_names):
+    hits = []
+    for event in events:
+        if event in sorted(allowed_names):  # lint: allow-quadratic
+            hits.append(event)
+    return hits
+
+
+def loop_tagged(events, allowed_names):
+    hits = []
+    for event in events:  # lint: allow-R003
+        if event in list(allowed_names):
+            hits.append(event)
+    return hits
+
+
+def outside_any_loop(events, allowed_names):
+    return [event for event in events if event in list(allowed_names)]
