@@ -1,6 +1,7 @@
-"""R003 — no quadratic membership patterns in ``core/`` hot paths.
+"""R003 — no quadratic membership patterns in hot paths.
 
-The certifier's hot paths (``repro.core``) were made sub-quadratic on
+The certifier's hot paths (``repro.core``, ``repro.stream``) were made
+sub-quadratic on
 purpose (PR 3's history index); this rule keeps accidental quadratic
 patterns from creeping back.  Inside any ``for``/``while`` loop in a
 hot-path module it flags:
@@ -43,11 +44,11 @@ class QuadraticPatternRule(Rule):
     """R003: no per-iteration linear scans inside hot-path loops."""
 
     rule_id = "R003"
-    title = "no quadratic patterns in core/ hot paths"
+    title = "no quadratic patterns in core/stream hot paths"
     tags = ("quadratic",)
 
     #: Path components marking a module as hot-path.
-    hot_parts: Tuple[str, ...] = ("core",)
+    hot_parts: Tuple[str, ...] = ("core", "stream")
 
     def check_module(
         self, unit: ModuleUnit, context: LintContext

@@ -8,6 +8,7 @@ Subcommands::
     python -m repro audit  run.json [--dot graph.dot] [--oracle]
     python -m repro audit  corpus-*.json --jobs 4
     python -m repro trace  [--seed N] --out trace.jsonl
+    python -m repro stream [--sessions N] [--workers K] [--no-compaction]
     python -m repro lint   [--json] [--rules R001 spec drift]
 
 ``record`` simulates a nested-transaction workload and writes the
@@ -25,6 +26,11 @@ JSONL span trace plus a metrics snapshot (see ``docs/OBSERVABILITY.md``
 for the schema); ``demo``/``record``/``audit`` accept ``--metrics-json``
 for the snapshot alone, and ``demo`` additionally ``--stats-json`` for
 the raw run counters.
+
+``stream`` drives generated commit-as-you-go streams through the
+:mod:`repro.stream` asyncio feed service — concurrent sessions sharded
+over certifier workers with bounded queues and prefix compaction on by
+default (``--no-compaction`` selects the baseline engine).
 
 ``lint`` runs the project static analysis (:mod:`repro.analysis`): the
 AST rules R001–R004, the spec-soundness checker and the docs drift
@@ -320,6 +326,67 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0 if certificate.certified else 2
 
 
+def _cmd_stream(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .obs import MetricsRegistry as Registry
+    from .stream import (
+        StreamConfig,
+        StreamService,
+        StreamWorkload,
+        commit_as_you_go,
+    )
+
+    config = StreamConfig(
+        workers=args.workers,
+        queue_size=args.queue_size,
+        compaction=not args.no_compaction,
+        compaction_interval=args.interval,
+    )
+    registry = MetricsRegistry() if args.metrics_json else None
+
+    async def run() -> list:
+        service = StreamService(config, metrics=registry)
+        await service.start()
+
+        async def drive(index: int):
+            workload = StreamWorkload(
+                top_level=args.transactions,
+                accesses=args.accesses,
+                window=args.window,
+                seed=args.seed + index,
+            )
+            system_type, actions = commit_as_you_go(workload)
+            session = await service.open_session(
+                f"session-{index}", system_type, metrics=Registry()
+            )
+            await session.feed_all(actions)
+            return await session.close()
+
+        try:
+            return await asyncio.gather(
+                *(drive(index) for index in range(args.sessions))
+            )
+        finally:
+            await service.close()
+
+    results = asyncio.run(run())
+    all_certified = True
+    for result in results:
+        verdict = result.verdict
+        status = "CERTIFIED" if verdict.certified else "NOT certified"
+        stats = result.compaction_stats
+        print(
+            f"{result.name}: {status} [{result.actions} events] "
+            f"evicted {stats['evicted_rows']} rows / "
+            f"{stats['evicted_subtrees']} subtrees, "
+            f"live {stats['live_tracked_ops']} ops"
+        )
+        all_certified = all_certified and verdict.certified
+    _write_metrics(registry, args)
+    return 0 if all_certified else 2
+
+
 def _cmd_scenarios(args: argparse.Namespace) -> int:
     from .core.oracle import oracle_serially_correct
     from .scenarios import SCENARIOS, build_scenario
@@ -518,6 +585,36 @@ def build_parser() -> argparse.ArgumentParser:
     audit.add_argument("--metrics-json", metavar="PATH",
                        help="write a metrics snapshot as JSON")
     audit.set_defaults(func=_cmd_audit)
+
+    stream = subparsers.add_parser(
+        "stream",
+        help="run concurrent commit-as-you-go streams through the "
+             "bounded-memory feed service",
+        description="Certify generated commit-as-you-go streams through "
+                    "the repro.stream asyncio service (compaction on by "
+                    "default). Exit status 0 when every session "
+                    "certifies, 2 otherwise.",
+    )
+    stream.add_argument("--sessions", type=int, default=2,
+                        help="concurrent sessions (default: 2)")
+    stream.add_argument("--workers", type=int, default=2,
+                        help="certifier workers sessions are sharded over")
+    stream.add_argument("--queue-size", type=int, default=256,
+                        help="per-worker queue bound (the backpressure point)")
+    stream.add_argument("--transactions", type=int, default=200,
+                        help="top-level transactions per session stream")
+    stream.add_argument("--accesses", type=int, default=4,
+                        help="accesses per top-level transaction")
+    stream.add_argument("--window", type=int, default=8,
+                        help="interleaved transactions per stream")
+    stream.add_argument("--interval", type=int, default=64,
+                        help="compaction sweep interval in events")
+    stream.add_argument("--no-compaction", action="store_true",
+                        help="run the uncompacted baseline engine instead")
+    stream.add_argument("--seed", type=int, default=0)
+    stream.add_argument("--metrics-json", metavar="PATH",
+                        help="write the service metrics snapshot as JSON")
+    stream.set_defaults(func=_cmd_stream)
 
     scenarios = subparsers.add_parser(
         "scenarios", help="judge the canonical anomaly scenarios"

@@ -65,6 +65,20 @@ class Digraph(Generic[N]):
         self._succ[src][dst] = labels
         self._pred[dst].add(src)
 
+    def remove_node(self, node: N) -> None:
+        """Remove ``node`` and every edge incident to it (missing is a no-op).
+
+        Used by the online certifier's prefix compaction to evict retired
+        sibling-group members; acyclicity is trivially preserved.
+        """
+        targets = self._succ.pop(node, None)
+        if targets is None:
+            return
+        for dst in targets:
+            self._pred[dst].discard(node)
+        for src in self._pred.pop(node, ()):
+            self._succ[src].pop(node, None)
+
     # -- inspection ----------------------------------------------------------
 
     def nodes(self) -> Tuple[N, ...]:
@@ -252,6 +266,23 @@ class IncrementalTopology(Generic[N]):
 
     def has_edge(self, src: N, dst: N) -> bool:
         return src in self._succ and dst in self._succ[src]
+
+    def remove_node(self, node: N) -> None:
+        """Remove ``node`` and its incident edges (missing is a no-op).
+
+        Deleting a node cannot invalidate the maintained order — every
+        remaining edge keeps its endpoints' relative indices — so no
+        repair pass is needed.  The freed index is simply retired;
+        ``_next_index`` stays monotone.
+        """
+        targets = self._succ.pop(node, None)
+        if targets is None:
+            return
+        for dst in targets:
+            self._pred[dst].discard(node)
+        for src in self._pred.pop(node, ()):
+            self._succ[src].discard(node)
+        del self._index[node]
 
     def add_edge(self, src: N, dst: N) -> Optional[List[N]]:
         """Insert an edge, repairing the order; return a cycle if one forms.

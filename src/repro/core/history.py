@@ -92,18 +92,35 @@ class ConflictCache:
     predicates are pure, so one verdict per distinct key is enough for a
     whole process.  Shared by the batch conflict enumeration and the
     online certifier.
+
+    ``max_entries`` (optional) bounds the cache for long-lived streaming
+    deployments whose operation/value domains are unbounded: once full,
+    the oldest verdict is evicted first (insertion order — a recomputed
+    verdict re-enters at the tail).  ``evictions`` counts how many
+    verdicts were dropped.  The default remains unbounded, matching the
+    batch pipeline where the key domain is bounded by the behavior.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, max_entries: Optional[int] = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be positive (or None for unbounded)")
         self._verdicts: Dict[Tuple[Any, ...], bool] = {}
+        self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def conflicts(self, spec: Any, op1: Any, value1: Any, op2: Any, value2: Any) -> bool:
         key = (spec, op1, value1, op2, value2)
         verdict = self._verdicts.get(key)
         if verdict is None:
             verdict = bool(spec.conflicts(op1, value1, op2, value2))
+            if (
+                self.max_entries is not None
+                and len(self._verdicts) >= self.max_entries
+            ):
+                self._verdicts.pop(next(iter(self._verdicts)))
+                self.evictions += 1
             self._verdicts[key] = verdict
             self.misses += 1
         else:

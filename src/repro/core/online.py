@@ -20,6 +20,61 @@ commit therefore
 ``OnlineCertifier.verdict()`` matches ``certify(prefix, ...)`` (without
 witness construction) after every fed prefix; the test suite asserts
 that equivalence on random behaviors.
+
+Prefix compaction
+-----------------
+
+With ``compaction=True`` the certifier periodically retires finished
+top-level subtrees so memory tracks the *live window* of the stream
+instead of its whole history.  The split is by weight:
+
+* **Root-level state is permanent** — transaction status name sets,
+  the ``T0`` sibling buckets, and the ``T0`` sibling group of the
+  serialization graph.  These grow with the number of top-level
+  transactions (a name and a few edges each), exactly as in the
+  uncompacted engine, and keeping them is what makes the verdict exact
+  even when the stream later references a retired subtree (a late
+  report, a late child, a late access under a committed ancestor).
+* **Subtree-level state is evicted** — the raw ``_TrackedOp`` records
+  with their payloads, the per-object visible rows / legality / state
+  snapshots, nested sibling groups, and per-parent report/request
+  buckets.  This is the per-*event* state, the actual memory driver.
+
+The two halves of the subtree-level state retire on independent
+conditions.  Per-object visible rows trim as a **stable prefix**: a row
+is stable once its position precedes every still-pending operation on
+its object, so no future visibility insertion can land at or before
+it, conflict "first" against it, or change the state it observed —
+its legality and its contribution to later resume states are final.
+Trimming only a leading run keeps the retained sequence hole-free
+(every surviving state snapshot still covers the whole evicted
+prefix).  A subtree's bookkeeping *record* — op/parent trackers,
+nested buckets and sibling groups — drops once the subtree is
+**quiescent**: nothing in it still waits for an ancestor commit and
+every tracked operation is dead or already visible, so no entry can
+ever fire again.  Decoupling the two means a long-running
+transaction's settled prefix compacts while the transaction is still
+open, and an idle record drops even while its rows are still hot.
+
+Evicted rows are folded into a per-object summary: the state after the
+compacted prefix (the base for future front-of-sequence insertions),
+the frozen ARV violations (merged back by stream position, preserving
+the exact verdict tuple), and a **conflict frontier** — per object, the
+distinct ``(op, value)`` pairs each retired top-level transaction
+contributed.  When a later operation becomes visible it derives its
+cross-subtree conflict edges against the frontier exactly as the
+uncompacted engine would against the raw rows (evicted rows always
+precede live ones, so the edge direction is fixed and both endpoints
+collapse to top-level names).  The only edges the compacted engine ever
+drops are *nested* edges from an evicted row or report to a later
+arrival inside the same retired subtree; those can never complete a new
+cycle, because every counter-edge back into the old portion of a nested
+group would need a smaller position than the retired prefix — excluded
+by stability.  Cycle and ARV verdicts are therefore identical to the
+uncompacted engine's on arbitrary streams (the latched cycle *witness*
+may differ, as edge insertion order does); randomized and directed
+suites assert that equivalence, and lint rule R001 enforces the A/B
+testing.
 """
 
 from __future__ import annotations
@@ -81,6 +136,24 @@ class _TrackedTxn:
     visible: bool = False
 
 
+@dataclass
+class _Subtree:
+    """Bookkeeping for one top-level transaction's subtree.
+
+    Grouping tracked operations and parent-trackers by the child of
+    ``T0`` they live under makes aborts O(subtree) instead of O(history)
+    and gives prefix compaction its unit of eviction.
+    """
+
+    top: TransactionName
+    #: position -> tracked operation (live accesses of this subtree)
+    ops: Dict[int, _TrackedOp] = field(default_factory=dict)
+    #: parent name -> tracker (every non-root parent touched in here)
+    parents: Dict[TransactionName, _TrackedTxn] = field(default_factory=dict)
+    #: operations + parent-trackers still waiting for an ancestor commit
+    unresolved: int = 0
+
+
 class OnlineCertifier:
     """Feed serial actions; read back the Theorem 8/19 verdict anytime.
 
@@ -102,6 +175,15 @@ class OnlineCertifier:
     A/B baseline; the two engines produce identical verdicts (asserted
     on randomized workloads by the test suite) and the naive engine is
     what ``benchmarks/bench_e13_incremental.py`` measures against.
+
+    ``compaction`` enables the bounded-memory mode described in the
+    module docstring: every ``compaction_interval`` consumed actions a
+    sweep retires quiescent top-level subtrees, folding their
+    operations into per-object summaries and a conflict frontier.  The default keeps the
+    uncompacted engine as the A/B baseline; verdicts are identical
+    either way on well-formed streams.  Sweep work is surfaced through
+    the ``online.compaction.*`` metrics and the
+    :meth:`compaction_stats` / :meth:`live_tracked_ops` introspectors.
     """
 
     def __init__(
@@ -111,23 +193,33 @@ class OnlineCertifier:
         metrics: Optional[MetricsRegistry] = None,
         incremental: bool = True,
         conflict_cache: Optional[ConflictCache] = None,
+        compaction: bool = False,
+        compaction_interval: int = 64,
     ) -> None:
+        if compaction_interval < 1:
+            raise ValueError("compaction_interval must be >= 1")
         self.system_type = system_type
-        self.tracer = tracer if tracer else None
+        self.tracer = tracer if tracer is not None else None
         self.metrics = metrics
         self.incremental = incremental
+        self.compaction = compaction
+        self.compaction_interval = compaction_interval
         # conflict verdicts are pure per (spec, ops, values): a cache may
         # be shared across certifier instances auditing the same objects
         self.conflict_cache = (
             conflict_cache if conflict_cache is not None else ConflictCache()
         )
-        self._topologies: Dict[TransactionName, IncrementalTopology] = {}
+        self._topologies: Dict[TransactionName, IncrementalTopology[TransactionName]] = {}
         self._position = 0
         self._committed: Set[TransactionName] = set()
         self._aborted: Set[TransactionName] = set()
-        # ops awaiting visibility, keyed by each uncommitted ancestor
-        self._waiting: Dict[TransactionName, List[_TrackedOp]] = {}
-        self._ops: List[_TrackedOp] = []
+        # ops awaiting visibility: uncommitted ancestor -> position -> op
+        self._waiting: Dict[TransactionName, Dict[int, _TrackedOp]] = {}
+        # per-top-level-subtree bookkeeping (aborts, compaction)
+        self._subtrees: Dict[TransactionName, _Subtree] = {}
+        # positions of pending (waiting, non-dead) ops per object: the
+        # per-object stable boundary is the minimum of this set
+        self._pending_by_object: Dict[ObjectName, Set[int]] = {}
         # per-object visible sequences (sorted by position) + states
         self._visible: Dict[ObjectName, List[_TrackedOp]] = {
             obj: [] for obj in system_type.object_names()
@@ -142,13 +234,37 @@ class OnlineCertifier:
         self._states: Dict[ObjectName, List[Any]] = {
             obj: [] for obj in system_type.object_names()
         }
-        # precedes bookkeeping
-        self._first_report: Dict[TransactionName, int] = {}
-        self._request_create: Dict[TransactionName, int] = {}
+        # precedes bookkeeping, grouped by parent so parent-visibility
+        # events and new reports/requests touch one sibling group only
+        self._reports_by_parent: Dict[
+            TransactionName, Dict[TransactionName, int]
+        ] = {}
+        self._requests_by_parent: Dict[
+            TransactionName, Dict[TransactionName, int]
+        ] = {}
         self._parents: Dict[TransactionName, _TrackedTxn] = {}
-        self._waiting_parents: Dict[TransactionName, List[_TrackedTxn]] = {}
+        self._waiting_parents: Dict[
+            TransactionName, Dict[TransactionName, _TrackedTxn]
+        ] = {}
         self._graph = SerializationGraph()
         self._cycle: Optional[Tuple[TransactionName, List[TransactionName]]] = None
+        # compaction summaries + counters
+        self._last_sweep = 0
+        self._compact_state: Dict[ObjectName, Any] = {}
+        self._compact_last_position: Dict[ObjectName, int] = {}
+        self._compact_count: Dict[ObjectName, int] = {}
+        self._frozen_violations: Dict[ObjectName, List[Tuple[int, str]]] = {}
+        # conflict frontier: obj -> retired top -> distinct evicted
+        # (op, value, read_only) triples; future visible ops derive
+        # their cross-subtree conflict edges from this instead of the
+        # evicted raw rows
+        self._frontier: Dict[
+            ObjectName, Dict[TransactionName, Set[Tuple[Any, Any, bool]]]
+        ] = {}
+        self._sweeps = 0
+        self._evicted_subtrees = 0
+        self._evicted_ops = 0
+        self._evicted_rows = 0
 
     # -- public API ---------------------------------------------------------
 
@@ -163,39 +279,77 @@ class OnlineCertifier:
                 self._consume(action)
         else:
             self._consume(action)
+        if (
+            self.compaction
+            and self._position - self._last_sweep >= self.compaction_interval
+        ):
+            if self.tracer is not None:
+                with self.tracer.span("online.compaction.sweep"):
+                    self._compact()
+            else:
+                self._compact()
 
     def _consume(self, action: Action) -> None:
         position = self._position
         self._position += 1
+        transaction = action.transaction
+        if not transaction.is_root:
+            self._subtree_for(transaction)
         if isinstance(action, RequestCreate):
-            self._request_create.setdefault(action.transaction, position)
-            self._touch_parent(action.transaction.parent)
-            if self._graph_parent_visible(action.transaction.parent):
-                self._add_precedes_for_new_request(action.transaction, position)
+            parent = transaction.parent
+            bucket = self._requests_by_parent.setdefault(parent, {})
+            if transaction not in bucket:
+                bucket[transaction] = position
+            self._touch_parent(parent)
+            if self._graph_parent_visible(parent):
+                self._add_precedes_for_new_request(transaction, position)
         elif isinstance(action, RequestCommit) and self.system_type.is_access(
-            action.transaction
+            transaction
         ):
             self._track_operation(action, position)
         elif isinstance(action, Commit):
-            self._on_commit(action.transaction)
+            self._on_commit(transaction)
         elif isinstance(action, Abort):
-            self._on_abort(action.transaction)
+            self._on_abort(transaction)
         elif is_report(action):
-            self._first_report.setdefault(action.transaction, position)
-            self._touch_parent(action.transaction.parent)
-            if self._graph_parent_visible(action.transaction.parent):
-                self._add_precedes_for_new_report(action.transaction, position)
+            parent = transaction.parent
+            bucket = self._reports_by_parent.setdefault(parent, {})
+            first = transaction not in bucket
+            if first:
+                bucket[transaction] = position
+            self._touch_parent(parent)
+            if first and self._graph_parent_visible(parent):
+                self._add_precedes_for_new_report(transaction, position)
 
     def verdict(self) -> OnlineVerdict:
         """The Theorem 8/19 judgement of everything fed so far."""
-        violations = tuple(
-            f"object {obj}: operation of {ops[i].transaction} is illegal"
-            for obj, ops in self._visible.items()
-            for i, ok in enumerate(self._legal[obj])
-            if not ok
-        )
+        violations: List[str] = []
+        for obj, rows in self._visible.items():
+            legal = self._legal[obj]
+            frozen = self._frozen_violations.get(obj)
+            if frozen is None:
+                violations.extend(
+                    f"object {obj}: operation of {rows[i].transaction} is illegal"
+                    for i, ok in enumerate(legal)
+                    if not ok
+                )
+            else:
+                # merge compacted (frozen) violations with the live rows
+                # by stream position: the exact tuple the uncompacted
+                # engine would report
+                entries = list(frozen)
+                entries.extend(
+                    (
+                        rows[i].position,
+                        f"object {obj}: operation of {rows[i].transaction} is illegal",
+                    )
+                    for i, ok in enumerate(legal)
+                    if not ok
+                )
+                entries.sort()
+                violations.extend(message for _, message in entries)
         certified = not violations and self._cycle is None
-        return OnlineVerdict(certified, violations, self._cycle)
+        return OnlineVerdict(certified, tuple(violations), self._cycle)
 
     def feed_all(self, behavior: Sequence[Action]) -> OnlineVerdict:
         """Feed a whole behavior and return the resulting verdict."""
@@ -208,7 +362,45 @@ class OnlineCertifier:
         """The serialization graph accumulated so far."""
         return self._graph
 
+    def live_tracked_ops(self) -> int:
+        """Raw tracked operations currently retained (the memory driver).
+
+        Counts every distinct ``_TrackedOp`` still held: visible rows in
+        the per-object sequences plus the not-yet-visible (waiting or
+        dead) operations in the subtree records.  With
+        ``compaction=True`` this stays proportional to the live window
+        of the stream; without it, it grows with history length.
+        """
+        total = sum(len(rows) for rows in self._visible.values())
+        for subtree in self._subtrees.values():
+            for tracked in subtree.ops.values():
+                if not tracked.visible:
+                    total += 1
+        return total
+
+    def compaction_stats(self) -> Dict[str, int]:
+        """Sweep/eviction totals (also surfaced as ``online.compaction.*``)."""
+        return {
+            "sweeps": self._sweeps,
+            "evicted_subtrees": self._evicted_subtrees,
+            "evicted_ops": self._evicted_ops,
+            "evicted_rows": self._evicted_rows,
+            "live_tracked_ops": self.live_tracked_ops(),
+            "frontier_entries": sum(
+                len(entries)
+                for per_top in self._frontier.values()
+                for entries in per_top.values()
+            ),
+        }
+
     # -- visibility machinery -------------------------------------------------
+
+    def _subtree_for(self, transaction: TransactionName) -> _Subtree:
+        top = transaction.prefix(1)
+        subtree = self._subtrees.get(top)
+        if subtree is None:
+            subtree = self._subtrees[top] = _Subtree(top)
+        return subtree
 
     def _uncommitted_chain(self, transaction: TransactionName) -> Set[TransactionName]:
         return {
@@ -223,6 +415,8 @@ class OnlineCertifier:
         )
 
     def _track_operation(self, action: RequestCommit, position: int) -> None:
+        if self._chain_dead(action.transaction):
+            return  # dead on arrival: can never become visible
         access = self.system_type.access(action.transaction)
         tracked = _TrackedOp(
             position,
@@ -233,57 +427,99 @@ class OnlineCertifier:
             self._uncommitted_chain(action.transaction),
             read_only=spec_is_read_only(self.system_type.spec(access.obj), access.op),
         )
-        self._ops.append(tracked)
-        if self._chain_dead(action.transaction):
-            tracked.dead = True
-            return
+        subtree = self._subtree_for(action.transaction)
+        subtree.ops[position] = tracked
         if not tracked.pending:
             self._make_op_visible(tracked)
         else:
+            subtree.unresolved += 1
+            self._pending_by_object.setdefault(tracked.obj, set()).add(position)
             for ancestor in tracked.pending:
-                self._waiting.setdefault(ancestor, []).append(tracked)
+                self._waiting.setdefault(ancestor, {})[position] = tracked
 
     def _touch_parent(self, parent: TransactionName) -> None:
         if parent in self._parents:
             return
         tracked = _TrackedTxn(parent, self._uncommitted_chain(parent))
         self._parents[parent] = tracked
+        if not parent.is_root:
+            self._subtree_for(parent).parents[parent] = tracked
         if self._chain_dead(parent):
             tracked.dead = True
             return
         if not tracked.pending:
             self._make_parent_visible(tracked)
         else:
+            self._subtree_for(parent).unresolved += 1
             for ancestor in tracked.pending:
-                self._waiting_parents.setdefault(ancestor, []).append(tracked)
+                self._waiting_parents.setdefault(ancestor, {})[parent] = tracked
 
     def _on_commit(self, transaction: TransactionName) -> None:
         self._committed.add(transaction)
-        for tracked in self._waiting.pop(transaction, []):
+        for tracked in list(self._waiting.pop(transaction, {}).values()):
             if tracked.dead or tracked.visible:
                 continue
             tracked.pending.discard(transaction)
             if not tracked.pending:
+                subtree = self._subtree_for(tracked.transaction)
+                subtree.unresolved -= 1
+                pending_here = self._pending_by_object.get(tracked.obj)
+                if pending_here is not None:
+                    pending_here.discard(tracked.position)
                 self._make_op_visible(tracked)
-        for tracked in self._waiting_parents.pop(transaction, []):
-            if tracked.dead or tracked.visible:
+        for watcher in list(self._waiting_parents.pop(transaction, {}).values()):
+            if watcher.dead or watcher.visible:
                 continue
-            tracked.pending.discard(transaction)
-            if not tracked.pending:
-                self._make_parent_visible(tracked)
+            watcher.pending.discard(transaction)
+            if not watcher.pending:
+                self._subtree_for(watcher.transaction).unresolved -= 1
+                self._make_parent_visible(watcher)
 
     def _on_abort(self, transaction: TransactionName) -> None:
         self._aborted.add(transaction)
-        for tracked in self._ops:
-            if not tracked.visible and transaction.is_ancestor_of(
-                tracked.transaction
-            ):
-                tracked.dead = True
-        for tracked in self._parents.values():
-            if not tracked.visible and transaction.is_ancestor_of(
-                tracked.transaction
-            ):
-                tracked.dead = True
+        if transaction.is_root:
+            subtrees = list(self._subtrees.values())
+        else:
+            subtree = self._subtrees.get(transaction.prefix(1))
+            subtrees = [subtree] if subtree is not None else []
+        for subtree in subtrees:
+            self._kill_descendants(subtree, transaction)
+
+    def _kill_descendants(
+        self, subtree: _Subtree, transaction: TransactionName
+    ) -> None:
+        """Mark the aborted transaction's waiting descendants dead and evict
+        their waiting-list entries eagerly (the abort-leak fix: dead
+        entries no longer linger until an unrelated ancestor commits)."""
+        for tracked in subtree.ops.values():
+            if tracked.visible or tracked.dead:
+                continue
+            if not transaction.is_ancestor_of(tracked.transaction):
+                continue
+            tracked.dead = True
+            subtree.unresolved -= 1
+            pending_here = self._pending_by_object.get(tracked.obj)
+            if pending_here is not None:
+                pending_here.discard(tracked.position)
+            for ancestor in tracked.pending:
+                bucket = self._waiting.get(ancestor)
+                if bucket is not None:
+                    bucket.pop(tracked.position, None)
+                    if not bucket:
+                        del self._waiting[ancestor]
+        for watcher in subtree.parents.values():
+            if watcher.visible or watcher.dead:
+                continue
+            if not transaction.is_ancestor_of(watcher.transaction):
+                continue
+            watcher.dead = True
+            subtree.unresolved -= 1
+            for ancestor in watcher.pending:
+                parent_bucket = self._waiting_parents.get(ancestor)
+                if parent_bucket is not None:
+                    parent_bucket.pop(watcher.transaction, None)
+                    if not parent_bucket:
+                        del self._waiting_parents[ancestor]
 
     # -- graph + ARV maintenance ---------------------------------------------
 
@@ -296,6 +532,22 @@ class OnlineCertifier:
         sequence = self._visible[tracked.obj]
         spec = self.system_type.spec(tracked.obj)
         cache = self.conflict_cache
+        # conflict edges against the compacted prefix, via the frontier:
+        # evicted rows always precede this op, so the edge runs from the
+        # retired top to this op's top; intra-subtree (nested) pairs are
+        # skipped — provably unable to complete a new cycle
+        frontier = self._frontier.get(tracked.obj)
+        if frontier:
+            my_top = tracked.transaction.prefix(1)
+            for top, entries in frontier.items():
+                if top == my_top:
+                    continue
+                for op, value, read_only in entries:
+                    if tracked.read_only and read_only:
+                        continue
+                    if cache.conflicts(spec, op, value, tracked.op, tracked.value):
+                        self._add_edge(SiblingEdge(top, my_top, CONFLICT))
+                        break  # further entries would re-add the same edge
         # conflict edges against every already-visible op on the object;
         # read/read pairs commute (both ops preserve the state) and are
         # skipped before the spec or the verdict cache is consulted
@@ -346,9 +598,16 @@ class OnlineCertifier:
             self.metrics.inc("online.revalidate.skipped_prefix_ops", start)
         spec = self.system_type.spec(obj)
         # resume from the cached state at the insertion point: the stable
-        # prefix is never replayed (per-object decomposition of the work)
+        # prefix is never replayed (per-object decomposition of the work).
+        # After compaction the base of the sequence is the summarised
+        # state of the evicted prefix instead of the spec's initial state.
         states = self._states[obj]
-        state: Any = states[start - 1] if start > 0 else spec.initial
+        if start > 0:
+            state: Any = states[start - 1]
+        elif obj in self._compact_state:
+            state = self._compact_state[obj]
+        else:
+            state = spec.initial
         legal = self._legal[obj]
         for index in range(start, len(self._visible[obj])):
             tracked = self._visible[obj][index]
@@ -359,47 +618,33 @@ class OnlineCertifier:
     def _make_parent_visible(self, tracked: _TrackedTxn) -> None:
         tracked.visible = True
         parent = tracked.transaction
-        reports = [
-            (txn, pos)
-            for txn, pos in self._first_report.items()
-            if not txn.is_root and txn.parent == parent
-        ]
-        requests = [
-            (txn, pos)
-            for txn, pos in self._request_create.items()
-            if not txn.is_root and txn.parent == parent
-        ]
-        for reported, report_pos in reports:
-            for requested, request_pos in requests:
+        reports = self._reports_by_parent.get(parent)
+        requests = self._requests_by_parent.get(parent)
+        if not reports or not requests:
+            return
+        for reported, report_pos in reports.items():
+            for requested, request_pos in requests.items():
                 if reported != requested and report_pos < request_pos:
                     self._add_edge(SiblingEdge(reported, requested, PRECEDES))
 
     def _add_precedes_for_new_report(
         self, reported: TransactionName, position: int
     ) -> None:
-        if self._first_report.get(reported) != position:
-            return  # not the first report: no new edges
-        parent = reported.parent
-        for requested, request_pos in self._request_create.items():
-            if (
-                requested != reported
-                and not requested.is_root
-                and requested.parent == parent
-                and position < request_pos
-            ):
+        requests = self._requests_by_parent.get(reported.parent)
+        if not requests:
+            return
+        for requested, request_pos in requests.items():
+            if requested != reported and position < request_pos:
                 self._add_edge(SiblingEdge(reported, requested, PRECEDES))
 
     def _add_precedes_for_new_request(
         self, requested: TransactionName, position: int
     ) -> None:
-        parent = requested.parent
-        for reported, report_pos in self._first_report.items():
-            if (
-                reported != requested
-                and not reported.is_root
-                and reported.parent == parent
-                and report_pos < position
-            ):
+        reports = self._reports_by_parent.get(requested.parent)
+        if not reports:
+            return
+        for reported, report_pos in reports.items():
+            if reported != requested and report_pos < position:
                 self._add_edge(SiblingEdge(reported, requested, PRECEDES))
 
     def _add_edge(self, edge: SiblingEdge) -> None:
@@ -449,3 +694,149 @@ class OnlineCertifier:
         if self.metrics is not None:
             # the verdict is monotone: once latched, always cyclic
             self.metrics.inc("online.cycle_latched")
+
+    # -- prefix compaction ----------------------------------------------------
+
+    def _compact(self) -> None:
+        """One compaction sweep: trim stable row prefixes, retire records."""
+        self._last_sweep = self._position
+        self._sweeps += 1
+        boundaries: Dict[ObjectName, int] = {}
+        for obj, positions in self._pending_by_object.items():
+            if positions:
+                boundaries[obj] = min(positions)
+        self._trim_rows(boundaries)
+        evictable = self._evictable_subtrees()
+        if evictable:
+            self._evict_subtrees(evictable)
+        if self.metrics is not None:
+            self.metrics.inc("online.compaction.sweeps")
+            if evictable:
+                self.metrics.inc(
+                    "online.compaction.evicted_subtrees", len(evictable)
+                )
+            self.metrics.set_gauge(
+                "online.compaction.live_tracked_ops", self.live_tracked_ops()
+            )
+
+    def _trim_rows(self, boundaries: Dict[ObjectName, int]) -> None:
+        """Fold each object's *stable prefix* into its compaction summary.
+
+        A visible row is stable once its position precedes every
+        still-pending operation on its object: no future visibility
+        insertion can land at or before it (pending operations sit at or
+        beyond the boundary, brand-new ones beyond the stream horizon),
+        so its legality and its contribution to later resume states are
+        final.  Trimming strictly leading rows keeps the retained
+        sequence hole-free — every surviving ``_states`` snapshot still
+        includes the whole evicted prefix, and a front-of-sequence
+        insertion resumes from ``_compact_state`` instead.
+
+        Each trimmed row is folded into the object's conflict frontier
+        (keyed by its top-level transaction, which is all a future
+        cross-subtree conflict edge needs) and, when illegal, into the
+        frozen ARV violations.  Rows are trimmed independently of their
+        subtree records: a long-running transaction's settled prefix
+        compacts even while the transaction itself stays open.
+        """
+        horizon = self._position  # every row position is < horizon
+        for obj, rows in self._visible.items():
+            if not rows:
+                continue
+            boundary = boundaries.get(obj, horizon)
+            cut = 0
+            while cut < len(rows) and rows[cut].position < boundary:
+                cut += 1
+            if cut == 0:
+                continue
+            legal = self._legal[obj]
+            states = self._states[obj]
+            frontier = self._frontier.setdefault(obj, {})
+            for i in range(cut):
+                row = rows[i]
+                self._evicted_rows += 1
+                self._compact_count[obj] = self._compact_count.get(obj, 0) + 1
+                frontier.setdefault(row.transaction.prefix(1), set()).add(
+                    (row.op, row.value, row.read_only)
+                )
+                if not legal[i]:
+                    self._frozen_violations.setdefault(obj, []).append(
+                        (
+                            row.position,
+                            f"object {obj}: operation of {row.transaction} is illegal",
+                        )
+                    )
+                    if self.metrics is not None:
+                        self.metrics.inc("online.compaction.frozen_violations")
+                subtree = self._subtrees.get(row.transaction.prefix(1))
+                if subtree is not None:
+                    subtree.ops.pop(row.position, None)
+            # rows are position-sorted, so the state after the last
+            # trimmed row is absolute over the whole evicted prefix: the
+            # base for any future front-of-sequence insertion
+            self._compact_last_position[obj] = rows[cut - 1].position
+            self._compact_state[obj] = states[cut - 1]
+            del rows[:cut]
+            del legal[:cut]
+            del states[:cut]
+            if self.metrics is not None:
+                self.metrics.inc("online.compaction.evicted_rows", cut)
+
+    def _evictable_subtrees(self) -> Set[TransactionName]:
+        """Top-level subtrees whose bookkeeping records are quiescent.
+
+        A record can be dropped once nothing in its subtree is still
+        waiting for an ancestor commit and every tracked operation is
+        either dead or already visible — nothing in the record can ever
+        fire again.  Late events referencing the subtree afterwards (a
+        report, a new child, even a new access under a committed
+        ancestor) are handled exactly by the permanent root-level state:
+        the status name sets, the ``T0`` sibling buckets and graph, and
+        the per-object conflict frontier.
+        """
+        quiescent: Set[TransactionName] = set()
+        for top, subtree in self._subtrees.items():
+            if subtree.unresolved:
+                continue
+            if all(
+                tracked.dead or tracked.visible
+                for tracked in subtree.ops.values()
+            ):
+                quiescent.add(top)
+        return quiescent
+
+    def _evict_subtrees(self, evictable: Set[TransactionName]) -> None:
+        """Drop the bookkeeping records of quiescent top-level subtrees.
+
+        This removes the per-subtree op/parent trackers, the nested
+        (within-subtree) report/request buckets and the nested sibling
+        groups — state that only drives events which can no longer fire.
+        Visible rows are *not* touched here; they retire separately via
+        :meth:`_trim_rows` once stable.  Root-level state — the status
+        name sets, the ``T0`` buckets and the ``T0`` sibling group — is
+        deliberately left intact: it is what keeps late events that
+        reference a retired subtree exact.
+        """
+        for top in evictable:
+            subtree = self._subtrees.pop(top)
+            self._evicted_subtrees += 1
+            self._evicted_ops += len(subtree.ops)
+            if self.metrics is not None:
+                self.metrics.inc("online.compaction.evicted_ops", len(subtree.ops))
+            for parent_name in subtree.parents:
+                self._requests_by_parent.pop(parent_name, None)
+                self._reports_by_parent.pop(parent_name, None)
+                self._parents.pop(parent_name, None)
+        # nested sibling groups of the evicted subtrees, wholesale
+        for parent in [
+            p
+            for p in self._graph.parents()
+            if not p.is_root and p.prefix(1) in evictable
+        ]:
+            self._graph.drop_group(parent)
+        for parent in [
+            p
+            for p in self._topologies
+            if not p.is_root and p.prefix(1) in evictable
+        ]:
+            del self._topologies[parent]

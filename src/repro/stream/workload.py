@@ -1,0 +1,176 @@
+"""Streaming workload generation: unbounded commit-as-you-go streams.
+
+The batch workload generator (:mod:`repro.sim.workload`) materialises a
+whole system and replays it; a *streaming* audit needs the opposite
+shape — an action iterator that can run for hundreds of thousands of
+events while the certifier's live window stays small.  The generator
+here produces exactly that profile:
+
+* ``window`` top-level transactions are in flight at any moment; each
+  runs the full ceremony (request/create, access children with their
+  reports, commit) and finishes before a replacement starts, so the
+  open window — and with ``compaction=True`` the certifier's retained
+  state — is O(``window``) regardless of stream length.
+* objects *rotate*: top-level transaction ``i`` draws its objects from
+  a sliding pool indexed by ``i // rotation``, so any single object is
+  only ever touched by a bounded stretch of the stream.  Overlapping
+  pools still produce cross-transaction conflict edges, but per-object
+  visible sequences (and hence per-event certifier work) stay bounded
+  in *both* engines — the stream scales in length, not in per-event
+  cost.
+* read results are resolved when the access's ``REQUEST_COMMIT`` is
+  *yielded*: ARV legality orders visible operations by request
+  position, so a read is legal iff it carries the value of the latest
+  write scheduled before it — independent of how the window
+  interleaves.  The generated stream therefore never produces ARV
+  violations.  Interleaved writes on a shared object can still close a
+  serialization-graph cycle (commit-as-you-go is not serializable by
+  construction); the latch is identical in both engines and does not
+  affect the memory profile the stream exists to measure.
+
+Access names are registered on the system type lazily, just before the
+access's first action is yielded; the certifier only consults the
+registry when it consumes the access's ``REQUEST_COMMIT``, so feeding
+the iterator straight into :class:`repro.core.online.OnlineCertifier`
+(or the :mod:`repro.stream.service` feed API) is sound.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple, Union
+
+from ..core.actions import (
+    Action,
+    Commit,
+    Create,
+    ReportCommit,
+    RequestCommit,
+    RequestCreate,
+)
+from ..core.names import Access, ObjectName, SystemType, TransactionName
+from ..core.rw_semantics import OK, ReadOp, RWSpec, WriteOp
+
+__all__ = ["StreamWorkload", "commit_as_you_go"]
+
+
+@dataclass(frozen=True)
+class StreamWorkload:
+    """Shape of a commit-as-you-go stream (see :func:`commit_as_you_go`).
+
+    ``top_level`` transactions run ``accesses`` accesses each, ``window``
+    of them interleaved at a time, over objects drawn from a pool of
+    ``pool`` names that advances every ``rotation`` transactions.
+    """
+
+    top_level: int = 100
+    accesses: int = 4
+    window: int = 8
+    pool: int = 4
+    rotation: int = 16
+    read_fraction: float = 0.5
+    seed: int = 0
+
+    def object_count(self) -> int:
+        """Total distinct objects the stream will touch."""
+        last_pool = max(0, self.top_level - 1) // max(1, self.rotation)
+        return last_pool + self.pool
+
+    def event_estimate(self) -> int:
+        """Events the stream will yield (exact for this generator)."""
+        # per access: request/create/request-commit/commit/report = 5
+        # per top-level txn: request/create/request-commit/commit = 4
+        return self.top_level * (4 + 5 * self.accesses)
+
+
+#: a pending access request-commit or report whose (read) value is
+#: resolved at yield time: ("rc" | "report", access, obj, op)
+_Deferred = Tuple[str, TransactionName, ObjectName, Union[ReadOp, WriteOp]]
+_Step = Union[Action, _Deferred]
+
+
+def _ceremony(
+    workload: StreamWorkload,
+    index: int,
+    rng: random.Random,
+    system_type: SystemType,
+) -> List[_Step]:
+    """One top-level transaction's action sequence, with deferred values."""
+    top = TransactionName((f"s{index}",))
+    steps: List[_Step] = [RequestCreate(top), Create(top)]
+    base = index // max(1, workload.rotation)
+    for position in range(workload.accesses):
+        obj = ObjectName(f"o{base + rng.randrange(workload.pool)}")
+        op: Union[ReadOp, WriteOp]
+        if rng.random() < workload.read_fraction:
+            op = ReadOp()
+        else:
+            op = WriteOp(rng.randrange(1000))
+        access = top.child(f"a{position}")
+        system_type.register_access(access, Access(obj, op))
+        steps += [
+            RequestCreate(access),
+            Create(access),
+            ("rc", access, obj, op),
+            Commit(access),
+            ("report", access, obj, op),
+        ]
+    steps += [RequestCommit(top, "done"), Commit(top)]
+    return steps
+
+
+def commit_as_you_go(
+    workload: StreamWorkload,
+) -> Tuple[SystemType, Iterator[Action]]:
+    """A lazily generated stream and the system type it runs against.
+
+    Returns ``(system_type, actions)``: the system type carries every
+    object up front (the certifier snapshots the object set at
+    construction) while access leaves are registered as the iterator
+    advances.  The iterator interleaves ``window`` concurrent top-level
+    ceremonies, starting a new transaction whenever one finishes, so
+    feeding it end to end exercises a genuinely overlapping schedule
+    whose memory demand on the certifier is O(``window``) — the profile
+    the ``compaction=True`` engine is built for.
+    """
+    system_type = SystemType(
+        {
+            ObjectName(f"o{index}"): RWSpec(initial=0)
+            for index in range(workload.object_count())
+        }
+    )
+
+    def generate() -> Iterator[Action]:
+        rng = random.Random(workload.seed)
+        values: Dict[ObjectName, int] = {}
+        answers: Dict[TransactionName, object] = {}
+        active: List[List[_Step]] = []
+        cursors: List[int] = []
+        started = 0
+        while started < workload.top_level or active:
+            while started < workload.top_level and len(active) < workload.window:
+                active.append(_ceremony(workload, started, rng, system_type))
+                cursors.append(0)
+                started += 1
+            slot = rng.randrange(len(active))
+            step = active[slot][cursors[slot]]
+            cursors[slot] += 1
+            if cursors[slot] == len(active[slot]):
+                active.pop(slot)
+                cursors.pop(slot)
+            if not isinstance(step, tuple):
+                yield step
+            elif step[0] == "rc":
+                _, access, obj, op = step
+                if isinstance(op, WriteOp):
+                    values[obj] = op.data
+                    answers[access] = OK
+                else:
+                    answers[access] = values.get(obj, 0)
+                yield RequestCommit(access, answers[access])
+            else:
+                _, access, _, _ = step
+                yield ReportCommit(access, answers.pop(access))
+
+    return system_type, generate()

@@ -1,0 +1,282 @@
+"""Tests for the :mod:`repro.stream` feed service.
+
+``pytest-asyncio`` is deliberately not a dependency; every test drives
+the event loop itself through :func:`asyncio.run`, which also mirrors
+how the CLI subcommand uses the service.
+"""
+
+import asyncio
+
+import pytest
+
+from repro import OnlineCertifier
+from repro.core.names import Access, ObjectName, SystemType
+from repro.obs.metrics import MetricsRegistry
+from repro.stream import (
+    SessionResult,
+    StreamConfig,
+    StreamService,
+    StreamWorkload,
+    certify_stream,
+    commit_as_you_go,
+)
+
+from conftest import BehaviorBuilder, rw_system
+from test_core_properties import random_simple_behavior
+
+
+def judgement(verdict):
+    """The engine-independent verdict triple (cycle witness excluded)."""
+    return (verdict.certified, verdict.arv_violations, verdict.cycle is None)
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+def simple_case(seed, steps=30):
+    behavior, system = random_simple_behavior(seed, steps=steps)
+    return list(behavior), system
+
+
+class TestConfig:
+    def test_rejects_nonpositive_workers_and_queues(self):
+        with pytest.raises(ValueError):
+            StreamConfig(workers=0)
+        with pytest.raises(ValueError):
+            StreamConfig(queue_size=0)
+
+
+class TestVerdictParity:
+    def test_matches_direct_certifier(self):
+        """The service is a transport, not a judge: its verdicts must be
+        exactly the direct certifier's (same compaction settings)."""
+
+        async def scenario():
+            config = StreamConfig(workers=2, compaction=True, compaction_interval=4)
+            service = StreamService(config)
+            await service.start()
+            results = {}
+            try:
+                for seed in range(6):
+                    behavior, system = simple_case(seed)
+                    session = await service.open_session(f"s{seed}", system)
+                    await session.feed_all(behavior)
+                    results[seed] = (await session.close(), behavior, system)
+            finally:
+                await service.close()
+            return results
+
+        for seed, (result, behavior, system) in run(scenario()).items():
+            direct = OnlineCertifier(
+                system, compaction=True, compaction_interval=4
+            ).feed_all(behavior)
+            assert judgement(result.verdict) == judgement(direct), seed
+            assert result.actions == len(behavior)
+
+    def test_mid_stream_verdict_reflects_fed_prefix(self):
+        async def scenario():
+            system = rw_system("x")
+            b = BehaviorBuilder(system)
+            t1 = b.begin_top("t1")
+            b.write(t1, "w", "x", 7)
+            b.commit(t1)
+            prefix = b.build()
+            t2 = b.begin_top("t2")
+            b.read(t2, "r", "x", 0)  # stale: ARV violation
+            b.commit(t2)
+            full = b.build()
+            service = StreamService(StreamConfig())
+            await service.start()
+            try:
+                session = await service.open_session("audit", system)
+                await session.feed_all(prefix)
+                midway = await session.verdict()
+                await session.feed_all(full[len(prefix):])
+                result = await session.close()
+            finally:
+                await service.close()
+            return midway, result
+
+        midway, result = run(scenario())
+        assert midway.certified
+        assert not result.verdict.certified
+        assert result.verdict.arv_violations
+
+
+class TestMultiplexing:
+    def test_sessions_shard_round_robin_and_interleave(self):
+        async def scenario():
+            registry = MetricsRegistry()
+            service = StreamService(StreamConfig(workers=3), metrics=registry)
+            await service.start()
+            cases = [simple_case(seed) for seed in range(6)]
+            try:
+                sessions = [
+                    await service.open_session(f"s{i}", system)
+                    for i, (_, system) in enumerate(cases)
+                ]
+                # feed round-robin one action at a time: maximal interleave
+                cursors = [0] * len(cases)
+                live = True
+                while live:
+                    live = False
+                    for i, (behavior, _) in enumerate(cases):
+                        if cursors[i] < len(behavior):
+                            await sessions[i].feed(behavior[cursors[i]])
+                            cursors[i] += 1
+                            live = True
+                results = [await session.close() for session in sessions]
+            finally:
+                await service.close()
+            return cases, results, registry.snapshot()
+
+        cases, results, snapshot = run(scenario())
+        for i, ((behavior, system), result) in enumerate(zip(cases, results)):
+            direct = OnlineCertifier(
+                system, compaction=True, compaction_interval=64
+            ).feed_all(behavior)
+            assert judgement(result.verdict) == judgement(direct), i
+        counters = snapshot["counters"]
+        assert counters["stream.sessions.opened"] == 6
+        assert counters["stream.sessions.closed"] == 6
+        assert counters["stream.actions"] == sum(
+            len(behavior) for behavior, _ in cases
+        )
+        assert snapshot["gauges"]["stream.workers"] == 3
+        assert snapshot["gauges"]["stream.sessions.open"] == 0
+
+    def test_duplicate_session_name_rejected(self):
+        async def scenario():
+            service = StreamService()
+            await service.start()
+            try:
+                await service.open_session("dup", rw_system("x"))
+                with pytest.raises(ValueError):
+                    await service.open_session("dup", rw_system("x"))
+            finally:
+                await service.close()
+
+        run(scenario())
+
+    def test_open_before_start_rejected(self):
+        async def scenario():
+            service = StreamService()
+            with pytest.raises(RuntimeError):
+                await service.open_session("early", rw_system("x"))
+
+        run(scenario())
+
+
+class TestBackpressure:
+    def test_tiny_queue_counts_backpressure_waits(self):
+        async def scenario():
+            registry = MetricsRegistry()
+            service = StreamService(
+                StreamConfig(workers=1, queue_size=1), metrics=registry
+            )
+            await service.start()
+            behavior, system = simple_case(3, steps=40)
+            try:
+                session = await service.open_session("pressed", system)
+                await session.feed_all(behavior)
+                await session.close()
+            finally:
+                await service.close()
+            return registry.snapshot()["counters"]
+
+        counters = run(scenario())
+        # with a one-slot queue nearly every feed finds it full
+        assert counters["stream.backpressure_waits"] > 0
+
+
+class _BrokenSpec:
+    """A spec whose state transition always fails — forces a certifier
+    error inside the worker loop."""
+
+    initial = 0
+
+    def apply(self, state, op):
+        raise RuntimeError("broken spec")
+
+    def conflicts(self, op1, value1, op2, value2):
+        return False
+
+
+class TestErrorSurfacing:
+    def test_certifier_error_reraised_on_close(self):
+        async def scenario():
+            registry = MetricsRegistry()
+            service = StreamService(metrics=registry)
+            await service.start()
+            system = SystemType({ObjectName("x"): _BrokenSpec()})
+            b = BehaviorBuilder(system)
+            t = b.begin_top("t")
+            b.write(t, "w", "x", 1)
+            b.commit(t)  # visibility triggers spec.apply, which raises
+            try:
+                session = await service.open_session("broken", system)
+                await session.feed_all(b.build())
+                with pytest.raises(RuntimeError, match="broken spec"):
+                    await session.close()
+            finally:
+                await service.close()
+            return registry.snapshot()["counters"]
+
+        counters = run(scenario())
+        assert counters["stream.errors"] >= 1
+
+    def test_feed_after_close_rejected(self):
+        async def scenario():
+            system = rw_system("x")
+            b = BehaviorBuilder(system)
+            t = b.begin_top("t")
+            b.write(t, "w", "x", 1)
+            b.commit(t)
+            behavior = b.build()
+            service = StreamService()
+            await service.start()
+            try:
+                session = await service.open_session("done", system)
+                await session.feed_all(behavior)
+                await session.close()
+                with pytest.raises(RuntimeError):
+                    await session.feed(behavior[0])
+            finally:
+                await service.close()
+
+        run(scenario())
+
+
+class TestCertifyStreamHelper:
+    def test_sync_iterable(self):
+        behavior, system = simple_case(1)
+        result = run(certify_stream("oneshot", system, behavior))
+        assert isinstance(result, SessionResult)
+        direct = OnlineCertifier(
+            system, compaction=True, compaction_interval=64
+        ).feed_all(behavior)
+        assert judgement(result.verdict) == judgement(direct)
+
+    def test_async_iterator(self):
+        behavior, system = simple_case(2)
+
+        async def produce():
+            for action in behavior:
+                await asyncio.sleep(0)
+                yield action
+
+        result = run(certify_stream("async-oneshot", system, produce()))
+        assert result.actions == len(behavior)
+
+    def test_commit_as_you_go_stream_stays_bounded(self):
+        """End-to-end: the workload generator through the service, with
+        the compaction stats proving eviction actually ran."""
+        workload = StreamWorkload(top_level=80, window=6, seed=3)
+        system, actions = commit_as_you_go(workload)
+        config = StreamConfig(compaction=True, compaction_interval=16)
+        result = run(certify_stream("e2e", system, actions, config=config))
+        assert result.actions == workload.event_estimate()
+        assert result.compaction_stats["evicted_rows"] > 0
+        assert result.compaction_stats["evicted_subtrees"] > 0
+        assert result.compaction_stats["live_tracked_ops"] <= 8 * workload.window
