@@ -31,7 +31,7 @@ from _obs import write_bench_json
 from _smoke import SMOKE, pick
 from _tables import print_table
 
-from repro import OnlineCertifier
+from repro import MetricsRegistry, OnlineCertifier
 from repro.stream import StreamConfig, StreamWorkload, certify_stream, commit_as_you_go
 
 #: sliding window of in-flight top-level transactions
@@ -83,7 +83,13 @@ def timed_feed(top_level: int, compaction: bool):
 
 
 def timed_service(top_level: int, sessions: int = 2, workers: int = 2):
-    """Price the asyncio feed transport on identical streams."""
+    """Price the asyncio feed transport on identical streams.
+
+    A service-level registry rides along, so the report also carries the
+    client-visible feed→verdict latency quantiles (queue wait plus
+    certification, in seconds) next to the raw throughput.
+    """
+    registry = MetricsRegistry()
 
     async def drive():
         config = StreamConfig(
@@ -99,7 +105,9 @@ def timed_service(top_level: int, sessions: int = 2, workers: int = 2):
                 seed=42 + index,
             )
             system, actions = commit_as_you_go(workload)
-            return await certify_stream(f"bench-{index}", system, actions, config)
+            return await certify_stream(
+                f"bench-{index}", system, actions, config, metrics=registry
+            )
 
         return await asyncio.gather(*(one(index) for index in range(sessions)))
 
@@ -107,12 +115,19 @@ def timed_service(top_level: int, sessions: int = 2, workers: int = 2):
     results = asyncio.run(drive())
     seconds = time.perf_counter() - start
     events = sum(result.actions for result in results)
+    latency = registry.histogram("stream.latency.feed_to_verdict")
     return {
         "sessions": sessions,
         "workers": workers,
         "events": events,
         "seconds": seconds,
         "events_per_second": events / max(seconds, 1e-9),
+        "latency": {
+            "count": latency.count,
+            "p50": latency.quantile(0.50),
+            "p95": latency.quantile(0.95),
+            "p99": latency.quantile(0.99),
+        },
     }
 
 
@@ -170,6 +185,10 @@ def test_e15_streaming_compaction(benchmark):
         <= first["compacted"]["peak_live_tracked_ops"] + 8
     )
     assert largest["compacted"]["compaction"]["evicted_rows"] > 0
+    # the service section reports feed→verdict latency quantiles
+    latency = report["service"]["latency"]
+    assert latency["count"] == report["service"]["events"]
+    assert 0.0 < latency["p50"] <= latency["p95"] <= latency["p99"]
     # the baseline's retention grows with the stream
     assert (
         largest["baseline"]["peak_live_tracked_ops"]

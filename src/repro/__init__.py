@@ -93,20 +93,40 @@ from .core import (
     visible_projection,
     dump_case,
     load_case,
+    ConflictWitness,
+    CycleExplanation,
+    EdgeExplanation,
+    PrecedesWitness,
+    explain_behavior,
+    explain_cycle,
+    explain_edge,
 )
 from .obs import (
+    LATENCY_BUCKETS,
     NULL_TRACER,
+    FlightRecorder,
     JSONLFileSink,
     LoggingSink,
     MetricsHooks,
     MetricsRegistry,
     NullTracer,
     ObsHooks,
+    P2Quantile,
     RingBufferSink,
+    SnapshotExporter,
     Span,
     Tracer,
+    bucket_quantile,
+    latency_histogram,
     load_jsonl_trace,
+    load_postmortems,
+    load_snapshots,
+    log_buckets,
+    parse_prometheus,
+    prometheus_name,
+    render_registry,
     span_coverage,
+    to_prometheus,
 )
 from .parallel import (
     CaseVerdict,
@@ -117,6 +137,7 @@ from .parallel import (
 from .report import (
     behavior_summary,
     certificate_report,
+    explanation_report,
     serialization_graph_to_dot,
 )
 from .automata import Composition, IOAutomaton, replay_schedule

@@ -50,6 +50,12 @@ _REGISTRY_METHODS = frozenset(
     {"inc", "set_gauge", "observe", "counter", "gauge", "histogram"}
 )
 
+#: Module-level wiring helpers called as plain names whose argument at
+#: the given index is a metric name (``latency_histogram(registry,
+#: "stream.latency.x")`` routes a registry write just like a method
+#: call, so its names are checked against the same inventory).
+_HELPER_FUNCTIONS: Dict[str, int] = {"latency_histogram": 1}
+
 #: A documented metric token: dotted lowercase, optional <placeholder>.
 _DOC_TOKEN_RE = re.compile(r"`([a-z][a-z0-9_.]*\.(?:[a-z0-9_.]|<[A-Za-z0-9_]*>)*)`")
 
@@ -102,7 +108,9 @@ def source_metric_names(source_root: Path) -> Tuple[Set[str], Set[str]]:
 
     Scans every registry-method call whose first argument is a string
     constant, a conditional expression over string constants, or an
-    f-string (the constant head becomes a wildcard prefix).
+    f-string (the constant head becomes a wildcard prefix) — plus the
+    plain-name wiring helpers in :data:`_HELPER_FUNCTIONS`, whose
+    metric-name argument sits at a helper-specific index.
     """
     exact: Set[str] = set()
     prefixes: Set[str] = set()
@@ -112,13 +120,21 @@ def source_metric_names(source_root: Path) -> Tuple[Set[str], Set[str]]:
         except SyntaxError:  # the linter reports this as E000
             continue
         for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name_argument = None
             if (
-                isinstance(node, ast.Call)
-                and isinstance(node.func, ast.Attribute)
+                isinstance(node.func, ast.Attribute)
                 and node.func.attr in _REGISTRY_METHODS
                 and node.args
             ):
-                node_exact, node_prefixes = _constant_names(node.args[0])
+                name_argument = node.args[0]
+            elif isinstance(node.func, ast.Name):
+                index = _HELPER_FUNCTIONS.get(node.func.id)
+                if index is not None and len(node.args) > index:
+                    name_argument = node.args[index]
+            if name_argument is not None:
+                node_exact, node_prefixes = _constant_names(name_argument)
                 exact |= node_exact
                 prefixes |= node_prefixes
     return exact, prefixes

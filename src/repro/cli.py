@@ -9,6 +9,8 @@ Subcommands::
     python -m repro audit  corpus-*.json --jobs 4
     python -m repro trace  [--seed N] --out trace.jsonl
     python -m repro stream [--sessions N] [--workers K] [--no-compaction]
+    python -m repro metrics snapshot.json [--serve PORT]
+    python -m repro explain run.json [--json out.json] [--dot graph.dot]
     python -m repro lint   [--json] [--rules R001 spec drift]
 
 ``record`` simulates a nested-transaction workload and writes the
@@ -30,7 +32,22 @@ the raw run counters.
 ``stream`` drives generated commit-as-you-go streams through the
 :mod:`repro.stream` asyncio feed service — concurrent sessions sharded
 over certifier workers with bounded queues and prefix compaction on by
-default (``--no-compaction`` selects the baseline engine).
+default (``--no-compaction`` selects the baseline engine).  With
+``--metrics-json`` the run reports p50/p95/p99 feed→verdict latency;
+``--flight PATH`` attaches a violation flight recorder (post-mortem
+JSONL on cycle latch / ARV violation); ``--export-jsonl PATH`` runs the
+periodic metrics snapshot exporter alongside the service.
+
+``metrics`` renders a ``--metrics-json`` snapshot in the Prometheus
+text exposition format — one-shot to stdout (or ``-o``), or served at
+``/metrics`` over :mod:`http.server` with ``--serve PORT`` (the file is
+re-read per scrape, so a live run's exporter output stays fresh).
+
+``explain`` maps a rejected case's SG cycle back to concrete
+conflicting operation pairs (see :mod:`repro.core.explain`): a text
+provenance report, optionally ``--json`` structured output and an
+annotated ``--dot`` rendering.  Exit status 2 when a cycle was found
+and explained, 0 when the behavior's graph is acyclic.
 
 ``lint`` runs the project static analysis (:mod:`repro.analysis`): the
 AST rules R001–R004, the spec-soundness checker and the docs drift
@@ -343,11 +360,24 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         compaction=not args.no_compaction,
         compaction_interval=args.interval,
     )
-    registry = MetricsRegistry() if args.metrics_json else None
+    registry = (
+        MetricsRegistry()
+        if args.metrics_json or args.flight or args.export_jsonl
+        else None
+    )
 
     async def run() -> list:
+        from .obs import FlightRecorder, SnapshotExporter
+
         service = StreamService(config, metrics=registry)
         await service.start()
+        exporter = None
+        if args.export_jsonl:
+            assert registry is not None
+            exporter = SnapshotExporter(
+                registry, args.export_jsonl, interval=args.export_interval
+            )
+            await exporter.start()
 
         async def drive(index: int):
             workload = StreamWorkload(
@@ -357,8 +387,14 @@ def _cmd_stream(args: argparse.Namespace) -> int:
                 seed=args.seed + index,
             )
             system_type, actions = commit_as_you_go(workload)
+            flight = (
+                FlightRecorder(args.flight, metrics=registry)
+                if args.flight
+                else None
+            )
             session = await service.open_session(
-                f"session-{index}", system_type, metrics=Registry()
+                f"session-{index}", system_type, metrics=Registry(),
+                flight=flight,
             )
             await session.feed_all(actions)
             return await session.close()
@@ -369,6 +405,8 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             )
         finally:
             await service.close()
+            if exporter is not None:
+                await exporter.close()
 
     results = asyncio.run(run())
     all_certified = True
@@ -383,8 +421,122 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             f"live {stats['live_tracked_ops']} ops"
         )
         all_certified = all_certified and verdict.certified
+    if registry is not None:
+        snapshot = registry.snapshot()
+        latency = snapshot["histograms"].get("stream.latency.feed_to_verdict")
+        if latency and latency["count"]:
+            print(
+                f"feed->verdict latency over {latency['count']} events: "
+                f"p50={latency['p50'] * 1e6:.0f}us "
+                f"p95={latency['p95'] * 1e6:.0f}us "
+                f"p99={latency['p99'] * 1e6:.0f}us"
+            )
+    if args.flight:
+        print(f"post-mortems appended to {args.flight}")
+    if args.export_jsonl:
+        print(f"metrics snapshots exported to {args.export_jsonl}")
     _write_metrics(registry, args)
     return 0 if all_certified else 2
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from .obs import to_prometheus
+
+    path = Path(args.snapshot)
+
+    def render() -> str:
+        text = path.read_text()
+        try:
+            snapshot = json.loads(text)
+        except json.JSONDecodeError:
+            # an exporter JSONL file: the last record is the freshest
+            lines = [line for line in text.splitlines() if line.strip()]
+            if not lines:
+                raise ValueError("empty snapshot file")
+            snapshot = json.loads(lines[-1])
+        if isinstance(snapshot, dict) and "snapshot" in snapshot:
+            snapshot = snapshot["snapshot"]
+        if not isinstance(snapshot, dict):
+            raise ValueError("not a metrics snapshot")
+        return to_prometheus(snapshot, namespace=args.namespace)
+
+    if args.serve is None:
+        try:
+            text = render()
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"cannot render {path}: {exc}", file=sys.stderr)
+            return 1
+        if args.output:
+            Path(args.output).write_text(text)
+            print(f"prometheus exposition written to {args.output}")
+        else:
+            print(text, end="")
+        return 0
+
+    from http.server import BaseHTTPRequestHandler, HTTPServer
+
+    class _MetricsHandler(BaseHTTPRequestHandler):
+        def do_GET(self) -> None:  # noqa: N802 - http.server API
+            if self.path not in ("/metrics", "/"):
+                self.send_error(404)
+                return
+            try:
+                body = render().encode("utf-8")
+            except (OSError, ValueError, json.JSONDecodeError) as exc:
+                self.send_error(500, str(exc))
+                return
+            self.send_response(200)
+            self.send_header(
+                "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+            )
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def log_message(self, format: str, *log_args: object) -> None:
+            pass  # scrapes are not news
+
+    server = HTTPServer((args.bind, args.serve), _MetricsHandler)
+    print(
+        f"serving {path} at http://{args.bind}:{args.serve}/metrics "
+        "(Ctrl-C to stop)"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from .core.explain import explain_behavior
+    from .report import explanation_report
+
+    cases = _load_cases([args.case])
+    if cases is None:
+        return 1
+    label, behavior, system_type = cases[0]
+    explained = explain_behavior(
+        behavior, system_type, max_witnesses=args.max_witnesses
+    )
+    if explained is None:
+        print(f"{label}: serialization graph is acyclic; nothing to explain")
+        return 0
+    explanation, graph = explained
+    print(explanation_report(explanation))
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(explanation.to_dict(), indent=2, default=str) + "\n"
+        )
+        print(f"structured explanation written to {args.json}")
+    if args.dot:
+        Path(args.dot).write_text(
+            serialization_graph_to_dot(graph, explanation=explanation)
+        )
+        print(f"annotated serialization graph written to {args.dot}")
+    return 2
 
 
 def _cmd_scenarios(args: argparse.Namespace) -> int:
@@ -614,7 +766,61 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--seed", type=int, default=0)
     stream.add_argument("--metrics-json", metavar="PATH",
                         help="write the service metrics snapshot as JSON")
+    stream.add_argument("--flight", metavar="PATH",
+                        help="attach a violation flight recorder; post-mortem "
+                             "records (recent actions, metrics, cycle "
+                             "witness) append to this JSONL file")
+    stream.add_argument("--export-jsonl", metavar="PATH",
+                        help="run the periodic metrics snapshot exporter "
+                             "alongside the service, appending to this "
+                             "JSONL file")
+    stream.add_argument("--export-interval", type=float, default=1.0,
+                        help="snapshot exporter period in seconds "
+                             "(default: 1.0)")
     stream.set_defaults(func=_cmd_stream)
+
+    metrics = subparsers.add_parser(
+        "metrics",
+        help="render a metrics snapshot in the Prometheus text format",
+        description="One-shot: print the exposition (or write it with -o). "
+                    "With --serve, expose /metrics over http.server, "
+                    "re-reading the snapshot file per scrape.",
+    )
+    metrics.add_argument("snapshot", metavar="SNAPSHOT",
+                         help="a --metrics-json snapshot, or a snapshot "
+                              "exporter JSONL file (last record wins)")
+    metrics.add_argument("-o", "--output", metavar="PATH",
+                         help="write the exposition here instead of stdout")
+    metrics.add_argument("--namespace", default="repro",
+                         help="metric name prefix (default: repro)")
+    metrics.add_argument("--serve", type=int, metavar="PORT",
+                         help="serve /metrics on this port instead of "
+                              "rendering once")
+    metrics.add_argument("--bind", default="127.0.0.1",
+                         help="address to bind --serve to "
+                              "(default: 127.0.0.1)")
+    metrics.set_defaults(func=_cmd_metrics)
+
+    explain = subparsers.add_parser(
+        "explain",
+        help="map a rejected case's SG cycle back to the conflicting "
+             "operation pairs",
+        description="Build SG(beta) for a recorded case, find a cycle and "
+                    "explain every edge with concrete operation-pair "
+                    "witnesses. Exit status 2 when a cycle was explained, "
+                    "0 when the graph is acyclic.",
+    )
+    explain.add_argument("case", metavar="case",
+                         help="a JSON file produced by 'record'")
+    explain.add_argument("--json", metavar="PATH",
+                         help="write the structured explanation as JSON")
+    explain.add_argument("--dot", metavar="PATH",
+                         help="write the witness-annotated serialization "
+                              "graph as DOT")
+    explain.add_argument("--max-witnesses", type=int, default=0,
+                         help="cap conflict witnesses per object per edge "
+                              "(0 = unbounded)")
+    explain.set_defaults(func=_cmd_explain)
 
     scenarios = subparsers.add_parser(
         "scenarios", help="judge the canonical anomaly scenarios"

@@ -32,6 +32,15 @@ from .correctness import (
     is_serially_correct_for_root,
     validate_serial_behavior,
 )
+from .explain import (
+    ConflictWitness,
+    CycleExplanation,
+    EdgeExplanation,
+    PrecedesWitness,
+    explain_behavior,
+    explain_cycle,
+    explain_edge,
+)
 from .events import (
     AffectsRelation,
     StatusIndex,

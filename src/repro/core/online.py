@@ -82,6 +82,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
+from ..obs.flight import FlightRecorder
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracer import Tracer
 from .actions import (
@@ -165,6 +166,15 @@ class OnlineCertifier:
     conflict/precedes edges and the cycle latch.  Both default to off
     with a single ``None`` check of overhead per call.
 
+    ``flight`` (optional) attaches a
+    :class:`repro.obs.flight.FlightRecorder`: every consumed serial
+    action is appended to its bounded ring (one deque append), and when
+    the verdict degrades — the cycle latches, or a re-validation flips
+    a previously-legal operation to illegal — the recorder dumps the
+    window, the cycle witness and the metrics snapshot as a post-mortem
+    JSONL record.  Like the other hooks it defaults to off at a single
+    ``None`` check.
+
     ``incremental`` selects the acyclicity engine.  The default maintains
     a Pearce–Kelly topological order per sibling group
     (:class:`repro.core.graph.IncrementalTopology`): an edge insert only
@@ -195,12 +205,16 @@ class OnlineCertifier:
         conflict_cache: Optional[ConflictCache] = None,
         compaction: bool = False,
         compaction_interval: int = 64,
+        flight: Optional[FlightRecorder] = None,
+        session: str = "",
     ) -> None:
         if compaction_interval < 1:
             raise ValueError("compaction_interval must be >= 1")
         self.system_type = system_type
         self.tracer = tracer if tracer is not None else None
         self.metrics = metrics
+        self.flight = flight
+        self.session = session
         self.incremental = incremental
         self.compaction = compaction
         self.compaction_interval = compaction_interval
@@ -274,6 +288,8 @@ class OnlineCertifier:
             return
         if self.metrics is not None:
             self.metrics.inc("online.actions")
+        if self.flight is not None:
+            self.flight.record(self._position, action)
         if self.tracer is not None:
             with self.tracer.span("online.feed", kind=type(action).__name__):
                 self._consume(action)
@@ -609,11 +625,27 @@ class OnlineCertifier:
         else:
             state = spec.initial
         legal = self._legal[obj]
+        newly_illegal: List[TransactionName] = []
         for index in range(start, len(self._visible[obj])):
             tracked = self._visible[obj][index]
             state, expected = spec.apply(state, tracked.op)
             states[index] = state
+            was_legal = legal[index]
             legal[index] = expected == tracked.value
+            if was_legal and not legal[index] and self.flight is not None:
+                newly_illegal.append(tracked.transaction)
+        if newly_illegal and self.flight is not None:
+            self.flight.dump(
+                "arv",
+                session=self.session,
+                metrics_snapshot=(
+                    self.metrics.snapshot() if self.metrics is not None else None
+                ),
+                context={
+                    "object": str(obj),
+                    "illegal": [str(name) for name in newly_illegal],
+                },
+            )
 
     def _make_parent_visible(self, tracked: _TrackedTxn) -> None:
         tracked.visible = True
@@ -694,6 +726,15 @@ class OnlineCertifier:
         if self.metrics is not None:
             # the verdict is monotone: once latched, always cyclic
             self.metrics.inc("online.cycle_latched")
+        if self.flight is not None:
+            self.flight.dump(
+                "cycle",
+                session=self.session,
+                cycle=self._cycle,
+                metrics_snapshot=(
+                    self.metrics.snapshot() if self.metrics is not None else None
+                ),
+            )
 
     # -- prefix compaction ----------------------------------------------------
 

@@ -10,12 +10,27 @@ The observability layer the rest of the library is instrumented with:
   (:mod:`repro.obs.tracer`);
 * :class:`ObsHooks` — the event protocol the simulation driver and
   generic controller call out through, with :class:`MetricsHooks` as the
-  stock metrics-recording observer (:mod:`repro.obs.hooks`).
+  stock metrics-recording observer (:mod:`repro.obs.hooks`);
+* streaming quantiles — log-bucket layouts with bounded relative error
+  and the P² estimator (:mod:`repro.obs.quantiles`);
+* exposition — Prometheus text rendering of any registry snapshot and
+  the periodic :class:`SnapshotExporter` task (:mod:`repro.obs.export`);
+* :class:`FlightRecorder` — bounded ring of recent actions dumped as a
+  post-mortem when a violation latches (:mod:`repro.obs.flight`).
 
 See ``docs/OBSERVABILITY.md`` for the full API tour, the JSONL trace
 schema and measured overheads; ``repro trace --help`` for the CLI.
 """
 
+from .export import (
+    SnapshotExporter,
+    load_snapshots,
+    parse_prometheus,
+    prometheus_name,
+    render_registry,
+    to_prometheus,
+)
+from .flight import FlightRecorder, load_postmortems
 from .hooks import MetricsHooks, ObsHooks
 from .metrics import (
     DEFAULT_DURATION_BUCKETS,
@@ -23,6 +38,13 @@ from .metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+)
+from .quantiles import (
+    LATENCY_BUCKETS,
+    P2Quantile,
+    bucket_quantile,
+    latency_histogram,
+    log_buckets,
 )
 from .tracer import (
     NULL_TRACER,
@@ -55,4 +77,17 @@ __all__ = [
     "load_jsonl_trace",
     "ObsHooks",
     "MetricsHooks",
+    "log_buckets",
+    "LATENCY_BUCKETS",
+    "bucket_quantile",
+    "P2Quantile",
+    "latency_histogram",
+    "prometheus_name",
+    "to_prometheus",
+    "render_registry",
+    "parse_prometheus",
+    "SnapshotExporter",
+    "load_snapshots",
+    "FlightRecorder",
+    "load_postmortems",
 ]

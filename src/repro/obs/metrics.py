@@ -29,6 +29,8 @@ from bisect import bisect_left
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from .quantiles import bucket_quantile
+
 __all__ = [
     "Counter",
     "Gauge",
@@ -108,6 +110,20 @@ class Histogram:
     def mean(self) -> Optional[float]:
         return self.sum / self.count if self.count else None
 
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimate the ``q``-quantile of everything observed so far.
+
+        The estimate is read off the bucket layout (geometric-midpoint
+        interpolation, clamped to the observed min/max), so its accuracy
+        is the layout's: with :data:`repro.obs.quantiles.LATENCY_BUCKETS`
+        the relative error is bounded at ~4%; the coarse default
+        duration buckets give order-of-magnitude answers only.  Returns
+        ``None`` while the histogram is empty.
+        """
+        return bucket_quantile(
+            self.buckets, self.counts, self.count, q, self.min, self.max
+        )
+
     def snapshot(self) -> Dict[str, object]:
         labels = [str(bound) for bound in self.buckets] + ["+inf"]
         return {
@@ -117,6 +133,9 @@ class Histogram:
             "min": self.min,
             "max": self.max,
             "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
         }
 
 

@@ -62,6 +62,11 @@ class Span:
     start: float
     end: Optional[float] = None
     tags: Dict[str, Any] = field(default_factory=dict)
+    #: epoch seconds (``time.time()``) at span open — ``start``/``end``
+    #: are ``perf_counter`` offsets, meaningless across processes, so
+    #: this is what lets JSONL traces from different processes or
+    #: sessions be aligned on one wall-clock axis.
+    wall_start: float = 0.0
 
     @property
     def duration(self) -> float:
@@ -80,6 +85,7 @@ class Span:
             "start": self.start,
             "end": self.end,
             "dur": self.duration,
+            "wall_start": self.wall_start,
             "tags": self.tags,
         }
 
@@ -259,6 +265,7 @@ class Tracer:
             depth=len(self._stack),
             start=time.perf_counter(),
             tags=tags,
+            wall_start=time.time(),
         )
         self._next_id += 1
         self._stack.append(span)

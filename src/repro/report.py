@@ -8,15 +8,21 @@ and a DOT rendering of the serialization graph for visual inspection
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from .core.actions import Action, format_behavior
 from .core.correctness import Certificate
 from .core.events import StatusIndex, serial_projection
+from .core.explain import CycleExplanation
 from .core.names import ROOT, SystemType
 from .core.serialization_graph import CONFLICT, PRECEDES, SerializationGraph
 
-__all__ = ["serialization_graph_to_dot", "certificate_report", "behavior_summary"]
+__all__ = [
+    "serialization_graph_to_dot",
+    "certificate_report",
+    "behavior_summary",
+    "explanation_report",
+]
 
 _EDGE_STYLE = {
     CONFLICT: 'color="firebrick"',
@@ -24,8 +30,36 @@ _EDGE_STYLE = {
 }
 
 
-def serialization_graph_to_dot(graph: SerializationGraph) -> str:
-    """Render ``SG(beta)`` as Graphviz DOT, one cluster per sibling group."""
+def serialization_graph_to_dot(
+    graph: SerializationGraph,
+    explanation: Optional[CycleExplanation] = None,
+) -> str:
+    """Render ``SG(beta)`` as Graphviz DOT, one cluster per sibling group.
+
+    With an ``explanation`` (from :func:`repro.core.explain_cycle`), the
+    cycle's edges are drawn bold with their first concrete witness — the
+    conflicting operation pair, or the report/request positions — as the
+    edge label, so the rejected run's provenance is readable straight
+    off the picture.
+    """
+    witness_labels: Dict[Tuple[object, object], str] = {}
+    if explanation is not None:
+        for edge in explanation.edges:
+            if edge.conflicts:
+                witness = edge.conflicts[0]
+                text = (
+                    f"{witness.obj}: {witness.first_op}@{witness.first_position}"
+                    f" vs {witness.second_op}@{witness.second_position}"
+                )
+            elif edge.precedes:
+                hit = edge.precedes[0]
+                text = (
+                    f"report@{hit.report_position}"
+                    f" < request@{hit.request_position}"
+                )
+            else:
+                text = "unwitnessed"
+            witness_labels[(edge.source, edge.target)] = text
     lines = ["digraph SG {", "  rankdir=LR;", "  node [shape=box, fontsize=10];"]
     for cluster, parent in enumerate(graph.parents()):
         lines.append(f"  subgraph cluster_{cluster} {{")
@@ -34,12 +68,37 @@ def serialization_graph_to_dot(graph: SerializationGraph) -> str:
         for node in sub.nodes():
             lines.append(f'    "{node}";')
         for src, dst, labels in sub.edges():
+            witness_text = witness_labels.get((src, dst))
             for label in sorted(labels) or [""]:
                 style = _EDGE_STYLE.get(label, "")
-                attributes = f'label="{label}"' + (f", {style}" if style else "")
+                if witness_text is not None:
+                    text = f"{label}\\n{witness_text}" if label else witness_text
+                    attributes = f'label="{text}", penwidth=2.5' + (
+                        f", {style}" if style else ""
+                    )
+                else:
+                    attributes = f'label="{label}"' + (f", {style}" if style else "")
                 lines.append(f'    "{src}" -> "{dst}" [{attributes}];')
         lines.append("  }")
     lines.append("}")
+    return "\n".join(lines)
+
+
+def explanation_report(explanation: CycleExplanation) -> str:
+    """A multi-line text rendering of one cycle's provenance."""
+    lines = [
+        f"cycle in sibling group of {explanation.parent}: "
+        + " -> ".join(str(node) for node in explanation.nodes),
+        f"witnesses {'complete' if explanation.complete else 'INCOMPLETE'}"
+        f" over {len(explanation.edges)} edge(s)",
+    ]
+    for edge in explanation.edges:
+        kinds = "+".join(edge.kinds) if edge.kinds else "unwitnessed"
+        lines.append(f"edge {edge.source} -> {edge.target} [{kinds}]")
+        for witness in edge.conflicts:
+            lines.append(f"  conflict {witness}")
+        for precedes_witness in edge.precedes:
+            lines.append(f"  precedes {precedes_witness}")
     return "\n".join(lines)
 
 

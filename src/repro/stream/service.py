@@ -24,7 +24,16 @@ Observability: the service-level registry (``metrics``) carries the
 ``stream.*`` counters/gauges; each session may additionally bring its
 own :class:`repro.obs.MetricsRegistry`, which is handed to its
 certifier and fills with the per-session ``online.*`` series (including
-``online.compaction.*``).
+``online.compaction.*``).  With either registry attached, every fed
+action is stamped at enqueue and its feed→verdict latency — queue wait
+plus certification — lands in a ``stream.latency.feed_to_verdict``
+log-bucket histogram (p50/p95/p99 in the snapshot) at service and
+session level, and the time a full queue blocked the producer feeds the
+``stream.backpressure.seconds`` histogram next to the existing wait
+counter.  A session opened with a
+:class:`repro.obs.flight.FlightRecorder` gets post-mortem dumps (recent
+action window, metrics snapshot, cycle witness) when its verdict
+degrades.  With no registry anywhere, none of the clocks are read.
 
 All coroutine methods must run on the event loop that ``start`` ran on.
 A minimal session::
@@ -41,6 +50,7 @@ A minimal session::
 from __future__ import annotations
 
 import asyncio
+import time
 from dataclasses import dataclass
 from typing import AsyncIterator, Dict, Iterable, List, Optional, Union
 
@@ -48,7 +58,9 @@ from ..core.actions import Action
 from ..core.history import ConflictCache
 from ..core.names import SystemType
 from ..core.online import OnlineCertifier, OnlineVerdict
+from ..obs.flight import FlightRecorder
 from ..obs.metrics import MetricsRegistry
+from ..obs.quantiles import latency_histogram
 
 __all__ = [
     "StreamConfig",
@@ -101,6 +113,7 @@ class _Session:
     name: str
     certifier: OnlineCertifier
     worker: int
+    metrics: Optional[MetricsRegistry] = None
     actions: int = 0
     closed: bool = False
     error: Optional[BaseException] = None
@@ -109,12 +122,17 @@ class _Session:
 @dataclass
 class _Item:
     """One worker-queue entry: a feed (``action`` set) or a round-trip
-    request (``reply`` set; ``close`` distinguishes verdict vs close)."""
+    request (``reply`` set; ``close`` distinguishes verdict vs close).
+
+    ``enqueued`` is the ``perf_counter`` stamp taken as the feed entered
+    the queue — 0.0 when latency measurement is off (no registry), so
+    the uninstrumented path never reads a clock."""
 
     session: _Session
     action: Optional[Action] = None
     reply: Optional["asyncio.Future[object]"] = None
     close: bool = False
+    enqueued: float = 0.0
 
 
 class SessionHandle:
@@ -211,12 +229,15 @@ class StreamService:
         system_type: SystemType,
         metrics: Optional[MetricsRegistry] = None,
         conflict_cache: Optional[ConflictCache] = None,
+        flight: Optional[FlightRecorder] = None,
     ) -> SessionHandle:
         """Open a named session and pin it to a worker (round-robin).
 
         ``metrics`` (optional) is the per-session registry handed to the
         session's certifier; ``conflict_cache`` may be shared across
-        sessions auditing the same object specifications.
+        sessions auditing the same object specifications; ``flight``
+        (optional) attaches a violation flight recorder to the session's
+        certifier (see :mod:`repro.obs.flight`).
         """
         if not self._started:
             raise RuntimeError("service not started")
@@ -229,8 +250,10 @@ class StreamService:
             conflict_cache=conflict_cache,
             compaction=self.config.compaction,
             compaction_interval=self.config.compaction_interval,
+            flight=flight,
+            session=name,
         )
-        session = _Session(name, certifier, self._next_worker)
+        session = _Session(name, certifier, self._next_worker, metrics=metrics)
         self._next_worker = (self._next_worker + 1) % self.config.workers
         self._sessions[name] = session
         if self.metrics is not None:
@@ -251,8 +274,20 @@ class StreamService:
         if item.session.closed:
             raise RuntimeError(f"session {item.session.name!r} is closed")
         queue = self._queues[item.session.worker]
+        if self.metrics is None and item.session.metrics is None:
+            # fully uninstrumented: no clock reads on this path
+            await queue.put(item)
+            return
+        if item.action is not None:
+            item.enqueued = time.perf_counter()
         if self.metrics is not None and queue.full():
             self.metrics.inc("stream.backpressure_waits")
+            blocked = time.perf_counter()
+            await queue.put(item)
+            latency_histogram(self.metrics, "stream.backpressure.seconds").observe(
+                time.perf_counter() - blocked
+            )
+            return
         await queue.put(item)
 
     async def _request(self, session: _Session, close: bool) -> object:
@@ -281,6 +316,17 @@ class StreamService:
                 session.actions += 1
                 if self.metrics is not None:
                     self.metrics.inc("stream.actions")
+                if item.enqueued:
+                    # queue wait + certification, the client-visible lag
+                    elapsed = time.perf_counter() - item.enqueued
+                    if self.metrics is not None:
+                        latency_histogram(
+                            self.metrics, "stream.latency.feed_to_verdict"
+                        ).observe(elapsed)
+                    if session.metrics is not None and session.metrics is not self.metrics:
+                        latency_histogram(
+                            session.metrics, "stream.latency.feed_to_verdict"
+                        ).observe(elapsed)
             except BaseException as exc:  # surfaced on next verdict/close
                 session.error = exc
                 if self.metrics is not None:
@@ -317,16 +363,21 @@ async def certify_stream(
     actions: Union[AsyncIterator[Action], Iterable[Action]],
     config: Optional[StreamConfig] = None,
     metrics: Optional[MetricsRegistry] = None,
+    flight: Optional[FlightRecorder] = None,
 ) -> SessionResult:
     """One-shot convenience: run a whole stream through a private service.
 
     Accepts either a plain iterable or an async iterator of actions;
-    returns the closed session's :class:`SessionResult`.
+    returns the closed session's :class:`SessionResult`.  ``metrics``
+    doubles as the session registry here (one session, one registry);
+    ``flight`` attaches a violation flight recorder to the session.
     """
     service = StreamService(config, metrics=metrics)
     await service.start()
     try:
-        session = await service.open_session(name, system_type)
+        session = await service.open_session(
+            name, system_type, metrics=metrics, flight=flight
+        )
         if hasattr(actions, "__aiter__"):
             async for action in actions:  # type: ignore[union-attr]
                 await session.feed(action)

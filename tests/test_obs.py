@@ -154,6 +154,22 @@ class TestTracer:
         assert [span["name"] for span in spans] == ["b", "a"]
         assert all(span["dur"] >= 0 for span in spans)
 
+    def test_spans_carry_epoch_wall_start(self, tmp_path):
+        """``wall_start`` is epoch time, so traces from different
+        processes (whose perf_counter origins differ) can be aligned."""
+        import time
+
+        ring = RingBufferSink()
+        before = time.time()
+        with Tracer(ring).span("aligned"):
+            pass
+        after = time.time()
+        (span,) = ring.spans()
+        assert before <= span.wall_start <= after
+        assert span.to_dict()["wall_start"] == span.wall_start
+        # the monotonic start/end stamps are a different clock domain
+        assert span.start != span.wall_start
+
     def test_logging_sink(self, caplog):
         tracer = Tracer(LoggingSink("repro.obs.test", level=logging.INFO))
         with caplog.at_level(logging.INFO, logger="repro.obs.test"):

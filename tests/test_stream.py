@@ -183,11 +183,89 @@ class TestBackpressure:
                 await session.close()
             finally:
                 await service.close()
-            return registry.snapshot()["counters"]
+            return registry.snapshot()
 
-        counters = run(scenario())
+        snapshot = run(scenario())
+        counters = snapshot["counters"]
         # with a one-slot queue nearly every feed finds it full
         assert counters["stream.backpressure_waits"] > 0
+        # every counted wait also lands its duration in the histogram
+        waits = snapshot["histograms"]["stream.backpressure.seconds"]
+        assert waits["count"] == counters["stream.backpressure_waits"]
+        assert waits["sum"] >= 0.0
+        assert waits["p95"] is not None
+
+
+class TestLatencyTelemetry:
+    def test_feed_to_verdict_histogram_counts_every_action(self):
+        async def scenario():
+            registry = MetricsRegistry()
+            service = StreamService(StreamConfig(workers=2), metrics=registry)
+            await service.start()
+            cases = [simple_case(seed) for seed in range(3)]
+            try:
+                for i, (behavior, system) in enumerate(cases):
+                    session = await service.open_session(f"s{i}", system)
+                    await session.feed_all(behavior)
+                    await session.close()
+            finally:
+                await service.close()
+            return cases, registry.snapshot()
+
+        cases, snapshot = run(scenario())
+        latency = snapshot["histograms"]["stream.latency.feed_to_verdict"]
+        assert latency["count"] == sum(len(b) for b, _ in cases)
+        assert latency["min"] > 0.0
+        for key in ("p50", "p95", "p99"):
+            assert latency[key] is not None
+            assert latency["min"] <= latency[key] <= latency["max"]
+
+    def test_session_registry_gets_its_own_latency_series(self):
+        async def scenario():
+            service_registry = MetricsRegistry()
+            session_registry = MetricsRegistry()
+            service = StreamService(metrics=service_registry)
+            await service.start()
+            behavior, system = simple_case(5)
+            try:
+                session = await service.open_session(
+                    "own", system, metrics=session_registry
+                )
+                await session.feed_all(behavior)
+                await session.close()
+            finally:
+                await service.close()
+            return len(behavior), service_registry, session_registry
+
+        fed, service_registry, session_registry = run(scenario())
+        for registry in (service_registry, session_registry):
+            latency = registry.snapshot()["histograms"][
+                "stream.latency.feed_to_verdict"
+            ]
+            assert latency["count"] == fed
+
+    def test_shared_registry_not_double_counted(self):
+        """``certify_stream`` hands one registry to both the service and
+        the session; each action must be observed exactly once."""
+        behavior, system = simple_case(4)
+        registry = MetricsRegistry()
+        result = run(
+            certify_stream("shared", system, behavior, metrics=registry)
+        )
+        latency = registry.snapshot()["histograms"][
+            "stream.latency.feed_to_verdict"
+        ]
+        assert latency["count"] == result.actions == len(behavior)
+
+    def test_uninstrumented_path_stamps_no_latency(self):
+        """With no registry anywhere the enqueue stamp stays 0.0 — the
+        zero-overhead contract (no clock reads, no histograms)."""
+        behavior, system = simple_case(6)
+        result = run(certify_stream("dark", system, behavior))
+        direct = OnlineCertifier(
+            system, compaction=True, compaction_interval=64
+        ).feed_all(behavior)
+        assert judgement(result.verdict) == judgement(direct)
 
 
 class _BrokenSpec:
