@@ -33,7 +33,7 @@ trace-demo:
 
 # Execute every fenced python block in the user-facing docs (the CI docs job)
 docs:
-	python tools/run_doc_examples.py README.md docs/TUTORIAL.md docs/ARCHITECTURE.md docs/PERFORMANCE.md
+	python tools/run_doc_examples.py README.md docs/TUTORIAL.md docs/ARCHITECTURE.md docs/PERFORMANCE.md docs/DISTRIBUTED.md
 
 # Project static analysis: AST rules R001-R004, spec soundness, docs
 # drift. Exit 1 on any finding; see docs/STATIC_ANALYSIS.md.

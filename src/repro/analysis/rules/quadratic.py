@@ -48,7 +48,7 @@ class QuadraticPatternRule(Rule):
     tags = ("quadratic",)
 
     #: Path components marking a module as hot-path.
-    hot_parts: Tuple[str, ...] = ("core", "stream")
+    hot_parts: Tuple[str, ...] = ("core", "stream", "distributed")
 
     def check_module(
         self, unit: ModuleUnit, context: LintContext

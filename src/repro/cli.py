@@ -557,7 +557,127 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
             and oracle == expectation.serially_correct
         ) else "UNEXPECTED"
         print(f"{name:16s} {status:9s} / {truth:9s}  [{marker}]  {expectation.reason}")
+    if not args.name:
+        from .distributed import build_dist_scenario, dist_scenario_names
+
+        print()
+        print("distributed scenarios (run with: repro distsim --scenario NAME):")
+        for name in dist_scenario_names():
+            _, _, expectation = build_dist_scenario(name)
+            local = "local-ok" if expectation.locally_certified else "local-NO"
+            glob = "global-ok" if expectation.globally_certified else "global-NO"
+            print(f"{name:24s} {local} / {glob}  {expectation.reason}")
     return 0
+
+
+def _cmd_distsim(args: argparse.Namespace) -> int:
+    from .core.online import OnlineCertifier
+    from .distributed import (
+        build_dist_scenario,
+        certify_distributed,
+        certify_sites,
+        dist_scenario_names,
+        divergence_config,
+        replica_divergence,
+        run_distributed,
+    )
+    from .obs import FlightRecorder
+
+    registry = (
+        MetricsRegistry() if args.metrics_json or args.flight else None
+    )
+    flight = (
+        FlightRecorder(args.flight, metrics=registry) if args.flight else None
+    )
+
+    def feed_flight(tag, site_histories):
+        # replay each site's history through an online certifier so
+        # post-mortems carry the originating site id
+        if flight is None:
+            return
+        for site in sorted(site_histories):
+            behavior, system_type = site_histories[site]
+            online = OnlineCertifier(
+                system_type,
+                flight=flight,
+                session=tag,
+                site=f"s{site}",
+            )
+            online.feed_all(behavior)
+
+    if args.scenario:
+        histories, placement, expectation = build_dist_scenario(args.scenario)
+        certificate = certify_sites(
+            histories,
+            metrics=registry,
+            divergent_replicas=replica_divergence(histories, placement),
+        )
+        print(f"scenario {args.scenario}: {expectation.reason}")
+        print(certificate.summary())
+        feed_flight(f"distsim-{args.scenario}", histories)
+        matches = (
+            certificate.locally_certified == expectation.locally_certified
+            and certificate.globally_certified == expectation.globally_certified
+        )
+        if not matches:
+            print("UNEXPECTED: verdicts differ from the documented expectation")
+        _write_metrics(registry, args)
+        return 0 if certificate.globally_certified and matches else 2
+
+    if args.sweep:
+        divergent = []
+        rejected = []
+        for seed in range(args.sweep):
+            config = divergence_config(
+                seed, sites=args.sites, pairs=args.pairs, crash=args.crash
+            )
+            run = run_distributed(config, metrics=registry)
+            certificate = certify_distributed(run, metrics=registry)
+            if certificate.divergent:
+                divergent.append(seed)
+            if not certificate.globally_certified:
+                rejected.append(seed)
+        print(
+            f"{args.sweep} seeds: {len(rejected)} globally rejected, "
+            f"{len(divergent)} divergent (every local SG acyclic, merged "
+            f"SG cyclic)"
+        )
+        if divergent:
+            shown = ", ".join(str(seed) for seed in divergent[:10])
+            more = "..." if len(divergent) > 10 else ""
+            print(f"divergent seeds: {shown}{more}")
+        _write_metrics(registry, args)
+        return 0
+
+    config = divergence_config(
+        args.seed, sites=args.sites, pairs=args.pairs, crash=args.crash
+    )
+    run = run_distributed(config, metrics=registry)
+    certificate = certify_distributed(run, metrics=registry)
+    outcomes = ", ".join(
+        f"{name}={outcome}" for name, outcome in sorted(run.outcomes.items())
+    )
+    print(
+        f"seed {args.seed}: {config.sites} sites, "
+        f"{len(config.transactions)} transactions, "
+        f"{run.routing.routed_accesses()} routed accesses, "
+        f"{len(run.doomed)} doomed"
+    )
+    print(f"outcomes: {outcomes}")
+    for name, reason in sorted(run.doomed.items()):
+        print(f"  doomed {name}: {reason}")
+    print(certificate.summary())
+    feed_flight(
+        f"distsim-seed{args.seed}",
+        {
+            site: (site_run.behavior, site_run.system_type)
+            for site, site_run in run.site_runs.items()
+        },
+    )
+    if args.flight:
+        print(f"post-mortems appended to {args.flight}")
+    _write_metrics(registry, args)
+    return 0 if certificate.globally_certified else 2
 
 
 class _LintSelectionError(ValueError):
@@ -827,6 +947,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     scenarios.add_argument("name", nargs="?", help="a single scenario to judge")
     scenarios.set_defaults(func=_cmd_scenarios)
+
+    distsim = subparsers.add_parser(
+        "distsim",
+        help="simulate a replicated multi-site workload and certify it "
+             "locally and globally",
+        description="Route a partition-prone replicated workload onto "
+                    "per-site generic controllers, certify each site "
+                    "with the single-site machinery, then merge the "
+                    "per-site serialization graphs and certify "
+                    "globally. Exit status 2 when the global verdict "
+                    "rejects (including local/global divergence), 0 "
+                    "otherwise.",
+    )
+    distsim.add_argument("--scenario", metavar="NAME",
+                         help="run a hand-built distributed scenario "
+                              "instead of the seeded simulator (see "
+                              "'repro scenarios' for names)")
+    distsim.add_argument("--seed", type=int, default=0,
+                         help="simulator seed (default: 0)")
+    distsim.add_argument("--sites", type=int, default=2,
+                         help="number of sites (default: 2)")
+    distsim.add_argument("--pairs", type=int, default=2,
+                         help="cross-reading transaction pairs "
+                              "(default: 2)")
+    distsim.add_argument("--crash", action="store_true",
+                         help="also crash and recover site 2 mid-window")
+    distsim.add_argument("--sweep", type=int, metavar="N",
+                         help="run seeds 0..N-1 and report how many "
+                              "runs diverge (local pass, global fail)")
+    distsim.add_argument("--metrics-json", metavar="PATH",
+                         help="write the distributed.* metrics snapshot "
+                              "as JSON")
+    distsim.add_argument("--flight", metavar="PATH",
+                         help="replay site histories through online "
+                              "certifiers with a flight recorder; "
+                              "post-mortems record the originating "
+                              "site id")
+    distsim.set_defaults(func=_cmd_distsim)
 
     lint = subparsers.add_parser(
         "lint",

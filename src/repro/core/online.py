@@ -207,6 +207,7 @@ class OnlineCertifier:
         compaction_interval: int = 64,
         flight: Optional[FlightRecorder] = None,
         session: str = "",
+        site: str = "",
     ) -> None:
         if compaction_interval < 1:
             raise ValueError("compaction_interval must be >= 1")
@@ -215,6 +216,9 @@ class OnlineCertifier:
         self.metrics = metrics
         self.flight = flight
         self.session = session
+        #: Originating site label for post-mortems ("" outside
+        #: repro.distributed); recorded in every flight-dump context.
+        self.site = site
         self.incremental = incremental
         self.compaction = compaction
         self.compaction_interval = compaction_interval
@@ -644,6 +648,7 @@ class OnlineCertifier:
                 context={
                     "object": str(obj),
                     "illegal": [str(name) for name in newly_illegal],
+                    "site": self.site,
                 },
             )
 
@@ -734,6 +739,7 @@ class OnlineCertifier:
                 metrics_snapshot=(
                     self.metrics.snapshot() if self.metrics is not None else None
                 ),
+                context={"site": self.site},
             )
 
     # -- prefix compaction ----------------------------------------------------

@@ -1,0 +1,280 @@
+"""Global certification: merging per-site serialization graphs.
+
+A site is just a subtree of the paper's transaction tree, so each site's
+history certifies with the unchanged single-site machinery
+(:func:`repro.core.correctness.certify`).  What the sites cannot see is
+each other's ordering decisions: site 1 may serialize ``t1`` before
+``t2`` while site 2 serializes ``t2`` before ``t1`` — every *local*
+serialization graph acyclic, yet no global serial order exists.
+
+The global certifier merges the per-site graphs: sibling groups with the
+same parent union their nodes and edges (top-level transaction names are
+shared across sites, so the root group is where cross-site cycles
+appear; leaf access names carry an ``@s<site>`` suffix, so site-local
+groups never collide).  The merged graph acyclic *and* every site's ARV
+check clean is the distributed analogue of Theorem 8: a single global
+serial order exists that every site's history is consistent with.
+
+:class:`DistributedCertificate` reports both verdicts side by side and
+flags *divergence* — the runs where local-only certification would have
+wrongly passed — plus replica staleness (committed final values of the
+same variable disagreeing across sites, the available-copies hazard of
+reads served inside a partition).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..core.actions import Behavior
+from ..core.correctness import Certificate, certify
+from ..core.names import SystemType, TransactionName
+from ..core.rw_semantics import clean_final_value
+from ..core.serialization_graph import SerializationGraph, SiblingEdge
+from ..obs.metrics import MetricsRegistry
+from .placement import Placement
+from .simulate import DistributedRun
+
+__all__ = [
+    "DistributedCertificate",
+    "merge_site_graphs",
+    "replica_divergence",
+    "certify_sites",
+    "certify_distributed",
+]
+
+
+def merge_site_graphs(
+    graphs: Mapping[int, SerializationGraph],
+    metrics: Optional[MetricsRegistry] = None,
+) -> Tuple[SerializationGraph, Dict[SiblingEdge, Tuple[int, ...]]]:
+    """Union per-site serialization graphs into one global graph.
+
+    Returns the merged graph and each edge's provenance — the sorted
+    sites that contributed it.  Sibling groups under the same parent
+    merge; the root group (top-level transactions, shared across sites)
+    is where cross-site cycles can appear.
+    """
+    merged = SerializationGraph()
+    provenance: Dict[SiblingEdge, List[int]] = {}
+    for site in sorted(graphs):
+        graph = graphs[site]
+        for node in graph.nodes():
+            merged.add_node(node)
+        for edge in graph.edges():
+            merged.add_edge(edge)
+            provenance.setdefault(edge, []).append(site)
+    edge_sites = {
+        edge: tuple(sites) for edge, sites in provenance.items()
+    }
+    if metrics is not None:
+        metrics.set_gauge("distributed.merge.groups", len(merged.parents()))
+        metrics.set_gauge("distributed.merge.edges", merged.edge_count())
+    return merged, edge_sites
+
+
+@dataclass
+class DistributedCertificate:
+    """Local and global verdicts for one distributed run, side by side."""
+
+    site_certificates: Dict[int, Certificate]
+    global_graph: SerializationGraph
+    global_cycle: Optional[Tuple[TransactionName, List[TransactionName]]]
+    #: Each merged edge -> the sites whose local graphs contributed it.
+    edge_sites: Dict[SiblingEdge, Tuple[int, ...]] = field(default_factory=dict)
+    #: Variable -> {site: committed final value} where sites disagree.
+    divergent_replicas: Dict[str, Dict[int, object]] = field(default_factory=dict)
+
+    @property
+    def locally_certified(self) -> bool:
+        """Every site's own certificate passed."""
+        return all(cert.certified for cert in self.site_certificates.values())
+
+    @property
+    def globally_certified(self) -> bool:
+        """Every site ARV-clean and the merged graph acyclic."""
+        return (
+            all(
+                not cert.arv_violations
+                for cert in self.site_certificates.values()
+            )
+            and self.global_cycle is None
+        )
+
+    @property
+    def divergent(self) -> bool:
+        """True when local-only certification would have wrongly passed."""
+        return self.locally_certified and not self.globally_certified
+
+    def cycle_edges(self) -> List[Tuple[SiblingEdge, Tuple[int, ...]]]:
+        """The merged-cycle edges with their site provenance.
+
+        Empty when the global graph is acyclic.  Each hop of the cycle
+        may have several labelled edges; all are reported.
+        """
+        if self.global_cycle is None:
+            return []
+        # find_cycle repeats the first node last, so consecutive pairs
+        # already close the loop
+        _, nodes = self.global_cycle
+        hops = {(nodes[i], nodes[i + 1]) for i in range(len(nodes) - 1)}
+        return [
+            (edge, sites)
+            for edge, sites in sorted(
+                self.edge_sites.items(),
+                key=lambda item: (item[0].source, item[0].target, item[0].kind),
+            )
+            if (edge.source, edge.target) in hops
+        ]
+
+    def summary(self) -> str:
+        """A human-readable multi-line verdict."""
+        lines = []
+        for site in sorted(self.site_certificates):
+            cert = self.site_certificates[site]
+            verdict = "certified" if cert.certified else "REJECTED"
+            lines.append(
+                f"site s{site}: {verdict} "
+                f"({len(list(cert.graph.edges()))} local edges)"
+            )
+        if self.globally_certified:
+            lines.append("global: certified (merged graph acyclic, ARV clean)")
+        else:
+            lines.append("global: REJECTED")
+            if self.global_cycle is not None:
+                parent, nodes = self.global_cycle
+                path = " -> ".join(str(n) for n in nodes)
+                lines.append(f"  merged SG cycle under {parent}: {path}")
+                for edge, sites in self.cycle_edges():
+                    where = ", ".join(f"s{site}" for site in sites)
+                    lines.append(f"    {edge}  (from {where})")
+        if self.divergent:
+            lines.append(
+                "DIVERGENCE: every per-site graph is acyclic, but the "
+                "merged global graph is not — local-only certification "
+                "would have wrongly passed this run"
+            )
+        for variable in sorted(self.divergent_replicas):
+            values = self.divergent_replicas[variable]
+            detail = ", ".join(
+                f"s{site}={values[site]!r}" for site in sorted(values)
+            )
+            lines.append(f"stale replicas of {variable}: {detail}")
+        return "\n".join(lines)
+
+
+def replica_divergence(
+    site_histories: Mapping[int, Tuple[Behavior, SystemType]],
+    placement: Placement,
+) -> Dict[str, Dict[int, object]]:
+    """Committed final values per replica, for variables where sites differ.
+
+    Replays each site's *clean* (committed) write sequence; a replicated
+    variable whose copies end at different values was left stale
+    somewhere — typically by a partition-missed or crash-missed write.
+    """
+    divergent: Dict[str, Dict[int, object]] = {}
+    for variable in placement.variables:
+        sites = placement.sites_for(variable)
+        if len(sites) < 2:
+            continue
+        values: Dict[int, object] = {}
+        for site in sites:
+            history = site_histories.get(site)
+            if history is None:
+                continue
+            behavior, system_type = history
+            replica = placement.replica(variable, site)
+            if replica not in system_type.object_names():
+                continue
+            values[site] = clean_final_value(behavior, replica, system_type)
+        if len(set(map(repr, values.values()))) > 1:
+            divergent[variable] = values
+    return divergent
+
+
+def _divergent_replicas(run: DistributedRun) -> Dict[str, Dict[int, object]]:
+    return replica_divergence(
+        {
+            site: (site_run.behavior, site_run.system_type)
+            for site, site_run in run.site_runs.items()
+        },
+        run.placement,
+    )
+
+
+def certify_sites(
+    site_histories: Mapping[int, Tuple[Behavior, SystemType]],
+    metrics: Optional[MetricsRegistry] = None,
+    construct_witness: bool = False,
+    divergent_replicas: Optional[Dict[str, Dict[int, object]]] = None,
+) -> DistributedCertificate:
+    """Certify per-site histories locally, then the merged graph globally.
+
+    The per-site pass is the unchanged Theorem 8 certifier on each
+    site-local behavior; the global pass merges the per-site graphs and
+    re-checks acyclicity.  Hand-built scenarios feed this directly;
+    simulated runs go through :func:`certify_distributed`.
+    """
+    site_certificates: Dict[int, Certificate] = {}
+    for site in sorted(site_histories):
+        behavior, system_type = site_histories[site]
+        cert = certify(
+            behavior, system_type, construct_witness=construct_witness
+        )
+        site_certificates[site] = cert
+        if metrics is not None:
+            metrics.inc(
+                "distributed.certify.site_certified"
+                if cert.certified
+                else "distributed.certify.site_rejected"
+            )
+    merged, edge_sites = merge_site_graphs(
+        {site: cert.graph for site, cert in site_certificates.items()},
+        metrics,
+    )
+    global_cycle = merged.find_cycle()
+    certificate = DistributedCertificate(
+        site_certificates,
+        merged,
+        global_cycle,
+        edge_sites,
+        divergent_replicas or {},
+    )
+    if metrics is not None:
+        metrics.inc(
+            "distributed.certify.global_certified"
+            if certificate.globally_certified
+            else "distributed.certify.global_rejected"
+        )
+        if certificate.divergent:
+            metrics.inc("distributed.certify.divergence")
+        metrics.set_gauge(
+            "distributed.replica.divergent_vars",
+            len(certificate.divergent_replicas),
+        )
+    return certificate
+
+
+def certify_distributed(
+    run: DistributedRun,
+    metrics: Optional[MetricsRegistry] = None,
+    construct_witness: bool = False,
+) -> DistributedCertificate:
+    """Certify a simulated :class:`DistributedRun` locally and globally.
+
+    Replica divergence (stale copies — committed final values of the
+    same variable disagreeing across sites) is reported alongside, but
+    does not affect the serializability verdict: a run can be globally
+    serializable and still expose stale reads to later transactions.
+    """
+    return certify_sites(
+        {
+            site: (site_run.behavior, site_run.system_type)
+            for site, site_run in run.site_runs.items()
+        },
+        metrics=metrics,
+        construct_witness=construct_witness,
+        divergent_replicas=_divergent_replicas(run),
+    )

@@ -1,0 +1,354 @@
+"""The cluster timeline: routing global transactions onto sites.
+
+A distributed workload is a set of *global transactions*, each a flat
+sequence of reads and writes on *variables* (not replicas).  Routing
+turns that into per-site plans under the available-copies discipline:
+
+* a **read** is served by any one reachable, up, *readable* copy
+  (seeded choice) — the recovery-time write barrier makes a replicated
+  copy unreadable from recovery until a fresh write lands on it;
+* a **write** lands on *every* reachable up copy; copies that are up
+  but unreachable (a network partition) silently miss it and keep
+  serving reads — the stale-replica-read hazard;
+* a **site crash** dooms every transaction that accessed the site
+  before reaching its commit point (the classical available-copies
+  abort rule), and arms the write barrier for the site's replicated
+  variables;
+* a transaction that cannot find any copy to read or write is doomed on
+  the spot.
+
+The result is one ordered access plan per site plus the doomed set;
+:mod:`repro.distributed.simulate` replays each plan through a site-local
+generic controller (with :class:`repro.sim.faults.ScriptedAbortInjector`
+realising the doomed fates), and the certifier merges the per-site
+serialization graphs.  Everything is deterministic in ``seed``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Mapping, Optional, Set, Tuple, Union
+
+from ..core.names import ObjectName
+from ..core.rw_semantics import ReadOp, WriteOp
+from ..obs.metrics import MetricsRegistry
+from ..sim.faults import SiteCrash, SiteRecovery
+from .placement import Placement
+
+__all__ = [
+    "DRead",
+    "DWrite",
+    "DistOp",
+    "GlobalTransaction",
+    "PartitionWindow",
+    "ClusterSchedule",
+    "DistributedConfig",
+    "RoutedAccess",
+    "RoutingResult",
+    "route_workload",
+]
+
+
+@dataclass(frozen=True)
+class DRead:
+    """Read a variable (served by one available copy)."""
+
+    variable: str
+
+
+@dataclass(frozen=True)
+class DWrite:
+    """Write a variable (lands on every reachable up copy)."""
+
+    variable: str
+    value: int
+
+
+DistOp = Union[DRead, DWrite]
+
+
+@dataclass(frozen=True)
+class GlobalTransaction:
+    """One top-level distributed transaction: ordered ops plus a home site.
+
+    The home site models where the client is attached; reachability
+    during a partition is judged from it.
+    """
+
+    name: str
+    ops: Tuple[DistOp, ...]
+    home: int = 1
+
+
+@dataclass(frozen=True)
+class PartitionWindow:
+    """A network partition active for routing steps ``start <= k < end``.
+
+    ``groups`` are the connectivity classes; a site in no group is
+    isolated.  Sites in different groups are mutually unreachable while
+    the window is active.
+    """
+
+    groups: Tuple[FrozenSet[int], ...]
+    start: int
+    end: int
+
+    def active(self, step: int) -> bool:
+        return self.start <= step < self.end
+
+    def connected(self, a: int, b: int) -> bool:
+        if a == b:
+            return True
+        return any(a in group and b in group for group in self.groups)
+
+
+@dataclass(frozen=True)
+class ClusterSchedule:
+    """The timed fault plan: crashes, recoveries, and partitions."""
+
+    crashes: Tuple[SiteCrash, ...] = ()
+    recoveries: Tuple[SiteRecovery, ...] = ()
+    partitions: Tuple[PartitionWindow, ...] = ()
+
+
+@dataclass
+class DistributedConfig:
+    """Parameters of one distributed simulation."""
+
+    sites: int = 2
+    variables: Tuple[str, ...] = ()
+    transactions: Tuple[GlobalTransaction, ...] = ()
+    schedule: ClusterSchedule = field(default_factory=ClusterSchedule)
+    seed: int = 0
+    #: Refuse reads from a recovered replicated copy until a write lands.
+    recovery_barrier: bool = True
+    #: Initial value per variable (default 0 for unlisted ones).
+    initial_values: Mapping[str, int] = field(default_factory=dict)
+    #: Step budget for each site-local simulated run.
+    max_steps: int = 10_000
+
+    def __post_init__(self) -> None:
+        if not self.variables:
+            # the classical layout: x1 .. x{2*sites}, odd pinned, even
+            # replicated everywhere
+            self.variables = tuple(
+                f"x{i}" for i in range(1, 2 * self.sites + 1)
+            )
+        for txn in self.transactions:
+            if not 1 <= txn.home <= self.sites:
+                raise ValueError(
+                    f"{txn.name}: home site {txn.home} outside 1..{self.sites}"
+                )
+
+    def placement(self) -> Placement:
+        return Placement(self.sites, self.variables)
+
+    def initial_value(self, variable: str) -> int:
+        return dict(self.initial_values).get(variable, 0)
+
+
+@dataclass(frozen=True)
+class RoutedAccess:
+    """One access a transaction routed to one site."""
+
+    transaction: str
+    component: str
+    site: int
+    obj: ObjectName
+    op: Union[ReadOp, WriteOp]
+
+
+@dataclass
+class RoutingResult:
+    """The outcome of the routing pass."""
+
+    plans: Dict[int, List[RoutedAccess]]
+    doomed: Dict[str, str]
+    #: Reads that found a copy only because the barrier excluded others,
+    #: counted per excluded copy.
+    barrier_excluded_reads: int
+    #: Up-but-unreachable copies that missed a write (stale hazard).
+    stale_risk: Dict[str, Set[int]]
+    steps: int
+
+    def routed_accesses(self) -> int:
+        return sum(len(plan) for plan in self.plans.values())
+
+
+class _ClusterState:
+    """Mutable routing-time state of the cluster."""
+
+    def __init__(self, config: DistributedConfig, placement: Placement) -> None:
+        self.up: Set[int] = set(placement.sites())
+        self.readable: Dict[Tuple[int, str], bool] = {
+            (site, variable): True
+            for variable in placement.variables
+            for site in placement.sites_for(variable)
+        }
+        self.config = config
+        self.placement = placement
+
+    def crash(self, site: int) -> None:
+        self.up.discard(site)
+        for variable in self.placement.variables_at(site):
+            self.readable[(site, variable)] = False
+
+    def recover(self, site: int) -> None:
+        self.up.add(site)
+        for variable in self.placement.variables_at(site):
+            replicated = self.placement.is_replicated(variable)
+            if not replicated or not self.config.recovery_barrier:
+                # a single copy cannot be stale; without the barrier,
+                # recovered replicas serve reads immediately (unsafe)
+                self.readable[(site, variable)] = True
+
+
+def route_workload(
+    config: DistributedConfig,
+    placement: Optional[Placement] = None,
+    metrics: Optional[MetricsRegistry] = None,
+) -> RoutingResult:
+    """Route ``config.transactions`` onto sites; deterministic in ``seed``.
+
+    The routing interleaving (which transaction issues its next op) is a
+    seeded uniform choice among unfinished, undoomed transactions; fault
+    events apply at their scheduled steps before the next op is issued.
+    A transaction reaches its *commit point* when its last op routes —
+    a crash after that no longer dooms it.
+    """
+    placement = placement if placement is not None else config.placement()
+    state = _ClusterState(config, placement)
+    rng = random.Random(config.seed)
+    plans: Dict[int, List[RoutedAccess]] = {
+        site: [] for site in placement.sites()
+    }
+    doomed: Dict[str, str] = {}
+    accessed: Dict[str, Set[int]] = {txn.name: set() for txn in config.transactions}
+    progress: Dict[str, int] = {txn.name: 0 for txn in config.transactions}
+    by_name: Dict[str, GlobalTransaction] = {
+        txn.name: txn for txn in config.transactions
+    }
+    if len(by_name) != len(config.transactions):
+        raise ValueError("duplicate transaction names")
+    events: List[Tuple[int, int, int]] = sorted(
+        [(crash.at_step, 0, crash.site) for crash in config.schedule.crashes]
+        + [(rec.at_step, 1, rec.site) for rec in config.schedule.recoveries]
+    )
+    barrier_excluded = 0
+    stale_risk: Dict[str, Set[int]] = {}
+    step = 0
+    applied = 0
+
+    def doom(name: str, reason: str) -> None:
+        doomed[name] = reason
+        if metrics is not None:
+            metrics.inc("distributed.doomed")
+
+    def reachable(a: int, b: int) -> bool:
+        return all(
+            window.connected(a, b)
+            for window in config.schedule.partitions
+            if window.active(step)
+        )
+
+    while True:
+        while applied < len(events) and events[applied][0] <= step:
+            _, kind, site = events[applied]
+            applied += 1
+            if kind == 0:
+                state.crash(site)
+                if metrics is not None:
+                    metrics.inc("distributed.crashes")
+                for name, sites in accessed.items():
+                    finished = progress[name] >= len(by_name[name].ops)
+                    if site in sites and not finished and name not in doomed:
+                        doom(name, f"site s{site} crashed mid-transaction")
+            else:
+                state.recover(site)
+                if metrics is not None:
+                    metrics.inc("distributed.recoveries")
+        candidates = sorted(
+            name
+            for name, txn in by_name.items()
+            if progress[name] < len(txn.ops) and name not in doomed
+        )
+        if not candidates:
+            break
+        name = rng.choice(candidates)
+        txn = by_name[name]
+        op = txn.ops[progress[name]]
+        index = progress[name]
+        progress[name] = index + 1
+        step += 1
+        holders = placement.sites_for(op.variable)
+        available = [
+            site
+            for site in holders
+            if site in state.up and reachable(txn.home, site)
+        ]
+        if isinstance(op, DRead):
+            readable = [
+                site for site in available if state.readable[(site, op.variable)]
+            ]
+            excluded = len(available) - len(readable)
+            barrier_excluded += excluded
+            if metrics is not None and excluded:
+                metrics.inc("distributed.routed.blocked_barrier", excluded)
+            if not readable:
+                reason = (
+                    f"recovery barrier: no readable copy of {op.variable}"
+                    if available
+                    else f"no available copy of {op.variable} to read"
+                )
+                doom(name, reason)
+                continue
+            site = rng.choice(readable)
+            plans[site].append(
+                RoutedAccess(
+                    name,
+                    f"o{index}r_{op.variable}@s{site}",
+                    site,
+                    placement.replica(op.variable, site),
+                    ReadOp(),
+                )
+            )
+            accessed[name].add(site)
+            if metrics is not None:
+                metrics.inc("distributed.routed.reads")
+        else:
+            if not available:
+                doom(name, f"no available copy of {op.variable} to write")
+                continue
+            for site in available:
+                plans[site].append(
+                    RoutedAccess(
+                        name,
+                        f"o{index}w_{op.variable}@s{site}",
+                        site,
+                        placement.replica(op.variable, site),
+                        WriteOp(op.value),
+                    )
+                )
+                accessed[name].add(site)
+                state.readable[(site, op.variable)] = True
+                stale_risk.setdefault(op.variable, set()).discard(site)
+            missed = [
+                site
+                for site in holders
+                if site not in available and site in state.up
+            ]
+            for site in missed:
+                stale_risk.setdefault(op.variable, set()).add(site)
+            if metrics is not None:
+                metrics.inc("distributed.routed.writes")
+                metrics.inc("distributed.routed.write_replicas", len(available))
+    stale_risk = {
+        variable: sites for variable, sites in stale_risk.items() if sites
+    }
+    if metrics is not None:
+        metrics.set_gauge(
+            "distributed.stale_replicas",
+            sum(len(sites) for sites in stale_risk.values()),
+        )
+    return RoutingResult(plans, doomed, barrier_excluded, stale_risk, step)

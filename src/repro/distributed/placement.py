@@ -1,0 +1,158 @@
+"""Variable placement across sites: even/odd replication and replica names.
+
+A distributed deployment replicates some variables and pins others to a
+single site.  Following the classical available-copies exercise (and
+the ADB replicated-database lineage), the default rule is indexed:
+
+* an **even**-indexed variable (``x2``, ``x4``, ...) is replicated at
+  *every* site;
+* an **odd**-indexed variable (``x1``, ``x3``, ...) lives at exactly one
+  site, ``1 + (index mod n_sites)``.
+
+Each copy of a variable at a site is its own *replica object* in the
+site-local system type, named ``<variable>@s<site>`` — so the paper's
+single-site machinery (generic objects, serialization graphs, ARV
+checks) applies per site unchanged, and the global certifier only has
+to merge the per-site graphs (see :mod:`repro.distributed.certifier`).
+
+Explicit placements override the indexed rule for workloads whose
+variables are not named ``<prefix><index>``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from ..core.names import ObjectName
+
+__all__ = [
+    "Placement",
+    "replica_name",
+    "replica_variable",
+    "replica_site",
+]
+
+#: Replica object names are ``<variable>@s<site>``.
+_REPLICA_RE = re.compile(r"^(?P<variable>.+)@s(?P<site>[0-9]+)$")
+
+#: The trailing integer of an indexed variable name (``x12`` -> 12).
+_INDEX_RE = re.compile(r"(?P<index>[0-9]+)$")
+
+
+def replica_name(variable: str, site: int) -> ObjectName:
+    """The object name of ``variable``'s copy at ``site``."""
+    return ObjectName(f"{variable}@s{site}")
+
+
+def _split_replica(obj: ObjectName) -> Tuple[str, int]:
+    match = _REPLICA_RE.match(obj.name)
+    if match is None:
+        raise ValueError(f"{obj} is not a replica object name (<var>@s<site>)")
+    return match.group("variable"), int(match.group("site"))
+
+
+def replica_variable(obj: ObjectName) -> str:
+    """The variable a replica object name copies (``x2@s1`` -> ``x2``)."""
+    return _split_replica(obj)[0]
+
+
+def replica_site(obj: ObjectName) -> int:
+    """The site a replica object name lives at (``x2@s1`` -> ``1``)."""
+    return _split_replica(obj)[1]
+
+
+class Placement:
+    """Which sites hold a copy of each variable.
+
+    ``variables`` fixes the workload's variable set; ``explicit`` maps a
+    variable to its site tuple, overriding the even/odd rule.  Sites are
+    numbered ``1 .. n_sites``.
+    """
+
+    def __init__(
+        self,
+        n_sites: int,
+        variables: Sequence[str],
+        explicit: Optional[Mapping[str, Sequence[int]]] = None,
+    ) -> None:
+        if n_sites < 1:
+            raise ValueError("a cluster needs at least one site")
+        self.n_sites = n_sites
+        self.variables: Tuple[str, ...] = tuple(variables)
+        if len(set(self.variables)) != len(self.variables):
+            raise ValueError(f"duplicate variables: {self.variables}")
+        self._sites: Dict[str, Tuple[int, ...]] = {}
+        explicit = explicit or {}
+        for variable in self.variables:
+            if variable in explicit:
+                sites = tuple(sorted(set(explicit[variable])))
+                if not sites:
+                    raise ValueError(f"{variable}: empty explicit placement")
+            else:
+                sites = self._indexed_sites(variable)
+            for site in sites:
+                if not 1 <= site <= n_sites:
+                    raise ValueError(
+                        f"{variable}: site {site} outside 1..{n_sites}"
+                    )
+            self._sites[variable] = sites
+
+    @classmethod
+    def indexed(
+        cls, n_sites: int, n_variables: int, prefix: str = "x"
+    ) -> "Placement":
+        """The classical layout: variables ``<prefix>1 .. <prefix>N``."""
+        return cls(
+            n_sites, tuple(f"{prefix}{i}" for i in range(1, n_variables + 1))
+        )
+
+    def _indexed_sites(self, variable: str) -> Tuple[int, ...]:
+        match = _INDEX_RE.search(variable)
+        if match is None:
+            raise ValueError(
+                f"{variable!r} has no trailing index; pass an explicit "
+                f"placement for it"
+            )
+        index = int(match.group("index"))
+        if index % 2 == 0:
+            return tuple(range(1, self.n_sites + 1))
+        return (1 + index % self.n_sites,)
+
+    # -- queries ---------------------------------------------------------
+
+    def sites(self) -> Tuple[int, ...]:
+        """All site ids, ``1 .. n_sites``."""
+        return tuple(range(1, self.n_sites + 1))
+
+    def sites_for(self, variable: str) -> Tuple[int, ...]:
+        """The sites holding a copy of ``variable``, sorted."""
+        try:
+            return self._sites[variable]
+        except KeyError:
+            raise KeyError(f"unknown variable {variable!r}") from None
+
+    def is_replicated(self, variable: str) -> bool:
+        """True iff ``variable`` has copies at more than one site."""
+        return len(self.sites_for(variable)) > 1
+
+    def variables_at(self, site: int) -> Tuple[str, ...]:
+        """The variables with a copy at ``site``, in declaration order."""
+        return tuple(
+            variable
+            for variable in self.variables
+            if site in self._sites[variable]
+        )
+
+    def replica(self, variable: str, site: int) -> ObjectName:
+        """The replica object name; raises when ``site`` holds no copy."""
+        if site not in self.sites_for(variable):
+            raise ValueError(f"site {site} holds no copy of {variable!r}")
+        return replica_name(variable, site)
+
+    def __repr__(self) -> str:
+        return (
+            f"Placement(sites={self.n_sites}, "
+            f"variables={len(self.variables)}, "
+            f"replicated={sum(1 for v in self.variables if self.is_replicated(v))})"
+        )

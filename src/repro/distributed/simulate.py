@@ -1,0 +1,231 @@
+"""Per-site simulation of a routed distributed workload.
+
+Each site is a complete single-site system of the paper: a generic
+controller, one generic object per *replica* the site holds, and one
+transaction automaton per global transaction that routed accesses there.
+The site-local program of a global transaction is the sequence of
+accesses it routed to that site (:func:`repro.sim.programs.access_sequence`),
+so the unchanged single-site machinery — locking objects, scheduling
+policies, serialization graphs — runs per site.
+
+Cross-site atomicity is enforced by a *reconcile loop*: transactions
+doomed by routing (site crashes, unavailable copies) are scripted to
+abort at every site via :class:`repro.sim.faults.ScriptedAbortInjector`,
+and if a site-local run aborts a transaction for its own reasons (e.g. a
+deadlock victim), the transaction joins the doomed set and every site
+re-runs, until the doomed set is a fixpoint.  The final outcome of a
+global transaction is therefore the same — committed everywhere or
+aborted everywhere — which is exactly what makes the merged-graph
+certification of :mod:`repro.distributed.certifier` meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.actions import Abort, Behavior, Commit
+from ..core.names import ObjectName, SystemType, TransactionName
+from ..core.rw_semantics import RWSpec
+from ..generic.system import ObjectFactory, make_generic_system
+from ..locking.moss import MossRWLockingObject
+from ..obs.metrics import MetricsRegistry
+from ..sim.driver import run_system
+from ..sim.faults import ScriptedAbortInjector
+from ..sim.policies import EagerInformPolicy
+from ..sim.programs import TransactionProgram, SubtransactionCall, access_sequence, system_type_for
+from ..sim.stats import RunStats
+from .cluster import DistributedConfig, RoutedAccess, RoutingResult, route_workload
+from .placement import Placement
+
+__all__ = [
+    "SiteRun",
+    "DistributedRun",
+    "site_system",
+    "run_distributed",
+]
+
+#: Safety bound on reconcile rounds; the doomed set only grows and is
+#: bounded by the transaction count, so this is never hit in practice.
+_MAX_RECONCILE_ROUNDS = 32
+
+
+@dataclass
+class SiteRun:
+    """One site's completed local run."""
+
+    site: int
+    system_type: SystemType
+    behavior: Behavior
+    stats: RunStats
+    #: Top-level transactions with accesses routed to this site.
+    transactions: Tuple[str, ...]
+
+
+@dataclass
+class DistributedRun:
+    """The full outcome of one distributed simulation."""
+
+    config: DistributedConfig
+    placement: Placement
+    routing: RoutingResult
+    site_runs: Dict[int, SiteRun]
+    #: Global transaction -> reason it was aborted everywhere.
+    doomed: Dict[str, str]
+    #: Global transaction -> "committed" | "aborted" | "incomplete".
+    outcomes: Dict[str, str]
+    reconcile_rounds: int
+
+    def committed(self) -> Tuple[str, ...]:
+        return tuple(
+            sorted(t for t, o in self.outcomes.items() if o == "committed")
+        )
+
+
+def site_system(
+    site: int,
+    plan: List[RoutedAccess],
+    placement: Placement,
+    config: DistributedConfig,
+) -> Tuple[SystemType, Dict[TransactionName, TransactionProgram]]:
+    """Build the site-local ``(system_type, programs)`` for one plan.
+
+    Every replica the site holds becomes an object (even if the plan
+    never touches it — its final value still matters for the staleness
+    report); every global transaction with accesses in the plan becomes
+    a top-level sequential program of exactly those accesses, under a
+    parallel root.
+    """
+    objects: Dict[ObjectName, RWSpec] = {
+        placement.replica(variable, site): RWSpec(
+            initial=config.initial_value(variable)
+        )
+        for variable in placement.variables_at(site)
+    }
+    order: List[str] = []
+    grouped: Dict[str, List[RoutedAccess]] = {}
+    for routed in plan:
+        if routed.transaction not in grouped:
+            grouped[routed.transaction] = []
+            order.append(routed.transaction)
+        grouped[routed.transaction].append(routed)
+    root_program = TransactionProgram(
+        tuple(
+            SubtransactionCall(
+                name,
+                access_sequence(
+                    [(r.component, r.obj, r.op) for r in grouped[name]]
+                ),
+            )
+            for name in order
+        ),
+        sequential=False,
+    )
+    programs = {TransactionName(()): root_program}
+    return system_type_for(objects, programs), programs
+
+
+def _top_level_fates(behavior: Behavior) -> Tuple[Dict[str, str], List[str]]:
+    """Map each top-level transaction in ``behavior`` to its fate.
+
+    Returns ``(fates, aborted)`` where fates maps name -> "committed" |
+    "aborted" and ``aborted`` lists the aborted ones.
+    """
+    fates: Dict[str, str] = {}
+    aborted: List[str] = []
+    for action in behavior:
+        if isinstance(action, Commit) and len(action.transaction.path) == 1:
+            fates[str(action.transaction.path[0])] = "committed"
+        elif isinstance(action, Abort) and len(action.transaction.path) == 1:
+            name = str(action.transaction.path[0])
+            fates[name] = "aborted"
+            aborted.append(name)
+    return fates, aborted
+
+
+def run_distributed(
+    config: DistributedConfig,
+    object_factory: Optional[ObjectFactory] = None,
+    metrics: Optional[MetricsRegistry] = None,
+) -> DistributedRun:
+    """Route, simulate per site, and reconcile cross-site outcomes.
+
+    Deterministic in ``config.seed``.  ``object_factory`` defaults to
+    Moss read/write locking at every site.
+    """
+    factory: ObjectFactory = (
+        object_factory if object_factory is not None else MossRWLockingObject
+    )
+    placement = config.placement()
+    if metrics is not None:
+        metrics.set_gauge("distributed.sites", config.sites)
+    routing = route_workload(config, placement, metrics)
+    doomed: Dict[str, str] = dict(routing.doomed)
+    site_runs: Dict[int, SiteRun] = {}
+    fates_by_site: Dict[int, Dict[str, str]] = {}
+    rounds = 0
+    for _ in range(_MAX_RECONCILE_ROUNDS):
+        rounds += 1
+        newly_doomed: Dict[str, str] = {}
+        for site in placement.sites():
+            plan = routing.plans.get(site, [])
+            system_type, programs = site_system(site, plan, placement, config)
+            system = make_generic_system(
+                system_type, programs, factory, name=f"site-{site}"
+            )
+            victims = frozenset(
+                TransactionName((name,)) for name in doomed
+            )
+            policy = ScriptedAbortInjector(
+                EagerInformPolicy(seed=config.seed * 100003 + site),
+                victims,
+                seed=config.seed * 100003 + site,
+            )
+            result = run_system(
+                system,
+                policy,
+                system_type,
+                max_steps=config.max_steps,
+                resolve_deadlocks=True,
+            )
+            transactions = tuple(
+                sorted({routed.transaction for routed in plan})
+            )
+            site_runs[site] = SiteRun(
+                site, system_type, result.behavior, result.stats, transactions
+            )
+            fates, aborted = _top_level_fates(result.behavior)
+            fates_by_site[site] = fates
+            for name in aborted:
+                if name not in doomed and name not in newly_doomed:
+                    newly_doomed[name] = (
+                        f"aborted during site s{site} execution "
+                        f"(atomic abort everywhere)"
+                    )
+        if not newly_doomed:
+            break
+        doomed.update(newly_doomed)
+        if metrics is not None:
+            metrics.inc("distributed.doomed", len(newly_doomed))
+    if metrics is not None:
+        metrics.inc("distributed.reconcile_rounds", rounds)
+    outcomes: Dict[str, str] = {}
+    for txn in config.transactions:
+        if txn.name in doomed:
+            outcomes[txn.name] = "aborted"
+            continue
+        fates = [
+            fates_by_site[site].get(txn.name)
+            for site in placement.sites()
+            if txn.name in site_runs[site].transactions
+        ]
+        if all(fate == "committed" for fate in fates):
+            outcomes[txn.name] = "committed"
+        elif any(fate == "aborted" for fate in fates):
+            # unreachable after the fixpoint, kept as a guard
+            outcomes[txn.name] = "aborted"
+        else:
+            outcomes[txn.name] = "incomplete"
+    return DistributedRun(
+        config, placement, routing, site_runs, doomed, outcomes, rounds
+    )

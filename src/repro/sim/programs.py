@@ -19,7 +19,7 @@ top-level programs induces.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Any, Callable, Dict, FrozenSet, Iterator, Mapping, Optional, Tuple, Union
+from typing import Any, Callable, Dict, FrozenSet, Iterator, Mapping, Optional, Sequence, Tuple, Union
 
 from ..automata.base import IOAutomaton
 from ..core.actions import (
@@ -45,6 +45,7 @@ __all__ = [
     "write",
     "op",
     "sub",
+    "access_sequence",
     "seq",
     "par",
 ]
@@ -142,6 +143,22 @@ def op(obj: ObjectName, operation: Any, component: Optional[str] = None) -> Acce
 def sub(program: TransactionProgram, component: str) -> SubtransactionCall:
     """A nested subtransaction call."""
     return SubtransactionCall(component, program)
+
+
+def access_sequence(
+    accesses: Sequence[Tuple[str, ObjectName, Any]], result: Any = "ok"
+) -> TransactionProgram:
+    """A sequential program of bare access calls ``(component, obj, op)``.
+
+    The site-local projection of a distributed transaction is exactly
+    this shape — the accesses it routed to one site, in issue order —
+    so :mod:`repro.distributed` assembles per-site programs with it.
+    """
+    return TransactionProgram(
+        tuple(AccessCall(component, obj, op) for component, obj, op in accesses),
+        sequential=True,
+        result=result,
+    )
 
 
 def _number_components(calls: Tuple[Call, ...]) -> Tuple[Call, ...]:

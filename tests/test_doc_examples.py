@@ -21,6 +21,7 @@ DOC_FILES = [
     "docs/TUTORIAL.md",
     "docs/ARCHITECTURE.md",
     "docs/PERFORMANCE.md",
+    "docs/DISTRIBUTED.md",
 ]
 
 

@@ -95,3 +95,59 @@ class TestRecoveryCorrectness:
             certificate = certify(result.behavior, system_type)
             assert certificate.certified, certificate.explain()
             assert not certificate.witness_problems
+
+
+class TestScriptedAbortInjector:
+    @staticmethod
+    def _run(victims, seed=0, inject_rate=1.0):
+        from repro.core.names import TransactionName
+        from repro.sim.faults import ScriptedAbortInjector
+
+        system_type, programs = generate_workload(
+            WorkloadConfig(seed=seed, top_level=4, objects=2)
+        )
+        system = make_generic_system(system_type, programs, MossRWLockingObject)
+        policy = ScriptedAbortInjector(
+            EagerInformPolicy(seed=seed),
+            {TransactionName((name,)) for name in victims},
+            seed=seed,
+            inject_rate=inject_rate,
+        )
+        result = run_system(system, policy, system_type, max_steps=4000)
+        return result, policy
+
+    def test_victims_never_commit(self):
+        from repro.core.actions import Commit
+
+        for seed in range(5):
+            result, policy = self._run({"t0", "t2"}, seed=seed)
+            committed = {
+                action.transaction.path[0]
+                for action in result.behavior
+                if isinstance(action, Commit) and action.transaction.depth == 1
+            }
+            assert committed.isdisjoint({"t0", "t2"})
+            assert policy.aborts_injected >= 1
+
+    def test_victims_abort_even_with_low_inject_rate(self):
+        # commit_imminent forces the abort regardless of the rate
+        from repro.core.actions import Commit
+
+        for seed in range(3):
+            result, _ = self._run({"t1"}, seed=seed, inject_rate=0.01)
+            for action in result.behavior:
+                if isinstance(action, Commit) and action.transaction.depth == 1:
+                    assert action.transaction.path != ("t1",)
+
+    def test_non_victims_unaffected(self):
+        result, policy = self._run(set(), seed=1)
+        assert policy.aborts_injected == 0
+        assert result.stats.aborted == 0
+
+    def test_invalid_inject_rate_rejected(self):
+        import pytest
+
+        from repro.sim.faults import ScriptedAbortInjector
+
+        with pytest.raises(ValueError, match="inject_rate"):
+            ScriptedAbortInjector(EagerInformPolicy(seed=0), set(), inject_rate=0.0)
