@@ -52,6 +52,12 @@ from .events import (
     visible_projection,
 )
 from .graph import CycleError, Digraph, IncrementalTopology
+from .columnar import (
+    ColumnarHistory,
+    ColumnarSerializationGraph,
+    build_columnar_graph,
+    certify_columnar,
+)
 from .history import ConflictCache, HistoryIndex
 from .names import ROOT, Access, ObjectName, SystemType, TransactionName, lca
 from .operations import (

@@ -117,6 +117,7 @@ def certify(
     tracer: Optional[Tracer] = None,
     metrics: Optional[MetricsRegistry] = None,
     indexed: bool = True,
+    columnar: bool = False,
 ) -> Certificate:
     """Apply Theorem 8/19 to (the serial projection of) ``behavior``.
 
@@ -136,13 +137,28 @@ def certify(
     cached projections and memoized visibility.  ``indexed=False`` keeps
     the original per-phase scans (a plain :class:`StatusIndex`) as the
     A/B baseline; the verdicts are identical either way, a property the
-    test suite asserts on seeded workloads.
+    test suite asserts on seeded workloads.  ``columnar=True`` routes to
+    the third lane, :func:`repro.core.columnar.certify_columnar` — the
+    dense-int struct-of-arrays engine — with identical certificates and
+    span/metric names (the three-way equivalence suite asserts this).
 
     ``tracer`` wraps the run in a ``certify`` span whose children cover
     the phases (projection, input validation, ARV check, graph build,
     cycle search, witness); ``metrics`` gains phase gauges/counters.
     Both default to no-ops with ~zero overhead.
     """
+    if columnar:
+        # imported lazily: columnar builds on this module's Certificate
+        from .columnar import certify_columnar
+
+        return certify_columnar(
+            behavior,
+            system_type,
+            construct_witness=construct_witness,
+            validate_input=validate_input,
+            tracer=tracer,
+            metrics=metrics,
+        )
     tracer = tracer if tracer is not None else NULL_TRACER
     with tracer.span("certify", events=len(behavior)):
         with tracer.span("certify.project"):

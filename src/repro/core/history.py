@@ -30,10 +30,14 @@ over.  Helpers that accept an optional index therefore verify coverage
 through :meth:`HistoryIndex.covers` before trusting the caches, and fall
 back to the naive scan otherwise.
 
-A shared :class:`ConflictCache` memoizes commutativity verdicts keyed on
-``(spec, op_i, value_i, op_j, value_j)`` — the same operation pair never
-consults the specification twice, which matters for data types whose
-``commutes_backward`` replays bounded domains.
+A shared :class:`ConflictCache` memoizes commutativity verdicts.  Specs
+and ``(op, value)`` operation classes are interned to dense ints at
+first sight and verdicts are keyed on the id triple — the same operation
+pair never consults the specification twice *and* never re-hashes the
+structured key, which matters both for data types whose
+``commutes_backward`` replays bounded domains and for the columnar
+engine (:mod:`repro.core.columnar`), whose event columns store the same
+dense class ids directly.
 
 Pass a :class:`repro.obs.MetricsRegistry` as ``metrics=`` to surface the
 ``history.index.*`` counters documented in ``docs/OBSERVABILITY.md``.
@@ -42,6 +46,7 @@ Pass a :class:`repro.obs.MetricsRegistry` as ``metrics=`` to surface the
 from __future__ import annotations
 
 from typing import (
+    TYPE_CHECKING,
     Any,
     Dict,
     List,
@@ -67,6 +72,9 @@ from .actions import (
 from .events import StatusIndex
 from .names import ROOT, ObjectName, SystemType, TransactionName
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from .columnar import ColumnarHistory
+
 __all__ = ["HistoryIndex", "ConflictCache", "spec_is_read_only"]
 
 
@@ -85,36 +93,88 @@ def spec_is_read_only(spec: Any, op: Any) -> bool:
 
 
 class ConflictCache:
-    """Memoized conflict verdicts per ``(spec, op_i, value_i, op_j, value_j)``.
+    """Memoized conflict verdicts, keyed by dense interned ids.
 
-    Specifications are required to be hashable (read/write specs are
-    frozen dataclasses; data types hash by identity) and conflict
-    predicates are pure, so one verdict per distinct key is enough for a
-    whole process.  Shared by the batch conflict enumeration and the
-    online certifier.
+    Specifications and ``(op, value)`` operation classes are interned to
+    small ints on first sight; a verdict is stored once per
+    ``(spec_id, class_i, class_j)`` triple.  Specifications are required
+    to be hashable (read/write specs are frozen dataclasses; data types
+    hash by identity) and conflict predicates are pure, so one verdict
+    per distinct triple is enough for a whole process.  Shared by the
+    batch conflict enumeration, the columnar engine (whose event columns
+    hold the same class ids, so lookups skip the structured-key hashing
+    entirely) and the online certifier.
 
-    ``max_entries`` (optional) bounds the cache for long-lived streaming
-    deployments whose operation/value domains are unbounded: once full,
-    the oldest verdict is evicted first (insertion order — a recomputed
-    verdict re-enters at the tail).  ``evictions`` counts how many
-    verdicts were dropped.  The default remains unbounded, matching the
-    batch pipeline where the key domain is bounded by the behavior.
+    ``max_entries`` (optional) bounds the *verdict* table for long-lived
+    streaming deployments whose operation/value domains are unbounded:
+    once full, the oldest verdict is evicted first (insertion order — a
+    recomputed verdict re-enters at the tail).  ``evictions`` counts how
+    many verdicts were dropped.  The interning tables themselves grow
+    with the distinct specs/operation classes observed — the same
+    lifetime as a ``SystemType``'s access registry.  The default remains
+    unbounded, matching the batch pipeline where the key domain is
+    bounded by the behavior.
     """
 
     def __init__(self, max_entries: Optional[int] = None) -> None:
         if max_entries is not None and max_entries < 1:
             raise ValueError("max_entries must be positive (or None for unbounded)")
-        self._verdicts: Dict[Tuple[Any, ...], bool] = {}
+        self._verdicts: Dict[Tuple[int, int, int], bool] = {}
+        self._spec_ids: Dict[Any, int] = {}
+        self._specs: List[Any] = []
+        self._operation_ids: Dict[Tuple[Any, Any], int] = {}
+        self._operations: List[Tuple[Any, Any]] = []
         self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
+    # -- dense interning ---------------------------------------------------
+
+    def spec_id(self, spec: Any) -> int:
+        """The dense id of ``spec``, interning it on first sight."""
+        sid = self._spec_ids.get(spec)
+        if sid is None:
+            sid = len(self._specs)
+            self._spec_ids[spec] = sid
+            self._specs.append(spec)
+        return sid
+
+    def operation_id(self, op: Any, value: Any) -> int:
+        """The dense id of the operation class ``(op, value)``."""
+        key = (op, value)
+        oid = self._operation_ids.get(key)
+        if oid is None:
+            oid = len(self._operations)
+            self._operation_ids[key] = oid
+            self._operations.append(key)
+        return oid
+
+    def operation_payload(self, operation_id: int) -> Tuple[Any, Any]:
+        """The ``(op, value)`` pair an operation id stands for."""
+        return self._operations[operation_id]
+
+    def operation_count(self) -> int:
+        """How many distinct operation classes have been interned."""
+        return len(self._operations)
+
+    # -- verdicts ----------------------------------------------------------
+
     def conflicts(self, spec: Any, op1: Any, value1: Any, op2: Any, value2: Any) -> bool:
-        key = (spec, op1, value1, op2, value2)
+        return self.conflicts_ids(
+            self.spec_id(spec),
+            self.operation_id(op1, value1),
+            self.operation_id(op2, value2),
+        )
+
+    def conflicts_ids(self, spec_id: int, first: int, second: int) -> bool:
+        """The memoized verdict for two already-interned operation classes."""
+        key = (spec_id, first, second)
         verdict = self._verdicts.get(key)
         if verdict is None:
-            verdict = bool(spec.conflicts(op1, value1, op2, value2))
+            op1, value1 = self._operations[first]
+            op2, value2 = self._operations[second]
+            verdict = bool(self._specs[spec_id].conflicts(op1, value1, op2, value2))
             if (
                 self.max_entries is not None
                 and len(self._verdicts) >= self.max_entries
@@ -138,6 +198,15 @@ class HistoryIndex(StatusIndex):
     (per-object projections, access buckets) are simply absent, and the
     transaction-level machinery still works.  ``metrics`` (optional)
     records the build and the cache behavior under ``history.index.*``.
+
+    ``columnar=True`` additionally builds a
+    :class:`repro.core.columnar.ColumnarHistory` over the same behavior,
+    sharing this index's :class:`ConflictCache`: orphan/visibility
+    queries answer from the store's bitsets, and graph construction
+    (:func:`repro.core.serialization_graph.conflict_pairs` and friends)
+    runs off the dense int columns instead of the object buckets.  The
+    flag is the third A/B lane next to ``indexed=`` — verdicts are
+    identical, a property the test suite asserts three ways.
     """
 
     def __init__(
@@ -145,6 +214,7 @@ class HistoryIndex(StatusIndex):
         behavior: Sequence[Action],
         system_type: Optional[SystemType] = None,
         metrics: Optional[Any] = None,
+        columnar: bool = False,
     ) -> None:
         self.behavior: Behavior = (
             behavior if isinstance(behavior, tuple) else tuple(behavior)
@@ -227,6 +297,18 @@ class HistoryIndex(StatusIndex):
                 self.reported.add(action.transaction)
                 self.first_report.setdefault(action.transaction, position)
         self._all_serial = all_serial
+        self.columnar: Optional["ColumnarHistory"] = None
+        if columnar:
+            # imported lazily: columnar builds on this module's cache
+            from .columnar import ColumnarHistory
+
+            store = ColumnarHistory(
+                system_type, metrics=metrics, conflict_cache=self.conflict_cache
+            )
+            for action in self.behavior:
+                store.append(action)
+            store.record_build_metrics()
+            self.columnar = store
         if metrics is not None:
             metrics.inc("history.index.builds")
             metrics.inc("history.index.events", len(self.behavior))
@@ -245,6 +327,11 @@ class HistoryIndex(StatusIndex):
 
     def is_orphan(self, transaction: TransactionName) -> bool:
         """Memoized: some ancestor of ``transaction`` aborted."""
+        store = self.columnar
+        if store is not None:
+            dense = store.txn_id_of(transaction)
+            if dense is not None:
+                return bool(store.orphan_flags()[dense])
         memo = self._orphan_memo
         verdict = memo.get(transaction)
         if verdict is None:
@@ -261,6 +348,11 @@ class HistoryIndex(StatusIndex):
     def is_visible(self, source: TransactionName, to: TransactionName) -> bool:
         """Memoized per ``(source, to)``: every ancestor of ``source`` up to
         (but excluding) an ancestor of ``to`` has committed."""
+        store = self.columnar
+        if store is not None and to.is_root:
+            dense = store.txn_id_of(source)
+            if dense is not None:
+                return bool(store.visible_flags()[dense])
         memo = self._visible_memo
         key = (source, to)
         verdict = memo.get(key)

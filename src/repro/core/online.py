@@ -125,6 +125,8 @@ class _TrackedOp:
     read_only: bool = False
     dead: bool = False
     visible: bool = False
+    #: dense operation-class id in the shared ConflictCache interner
+    cls: int = -1
 
 
 @dataclass
@@ -446,6 +448,7 @@ class OnlineCertifier:
             access.obj,
             self._uncommitted_chain(action.transaction),
             read_only=spec_is_read_only(self.system_type.spec(access.obj), access.op),
+            cls=self.conflict_cache.operation_id(access.op, action.value),
         )
         subtree = self._subtree_for(action.transaction)
         subtree.ops[position] = tracked
@@ -570,7 +573,10 @@ class OnlineCertifier:
                         break  # further entries would re-add the same edge
         # conflict edges against every already-visible op on the object;
         # read/read pairs commute (both ops preserve the state) and are
-        # skipped before the spec or the verdict cache is consulted
+        # skipped before the spec or the verdict cache is consulted.
+        # Verdicts go through the dense-id interface: the op classes were
+        # interned at track time, so the hot loop hashes small ints
+        spec_id = cache.spec_id(spec)
         for other in sequence:
             if tracked.read_only and other.read_only:
                 continue
@@ -579,7 +585,7 @@ class OnlineCertifier:
             first, second = (
                 (other, tracked) if other.position < tracked.position else (tracked, other)
             )
-            if cache.conflicts(spec, first.op, first.value, second.op, second.value):
+            if cache.conflicts_ids(spec_id, first.cls, second.cls):
                 depth = lca(first.transaction, second.transaction).depth + 1
                 self._add_edge(
                     SiblingEdge(

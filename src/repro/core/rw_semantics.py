@@ -14,7 +14,7 @@ the only accesses are reads and writes.  This module provides:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Optional, Sequence, Tuple
+from typing import Any, ClassVar, Optional, Sequence, Tuple
 
 from .actions import Action, RequestCommit
 from .events import StatusIndex, clean_projection
@@ -153,6 +153,15 @@ class RWSpec:
     """
 
     initial: Any = None
+
+    #: Structural marker: ``conflicts`` is exactly "not both operands
+    #: read-only" (two reads commute; anything touching a write
+    #: conflicts).  The columnar engine keys on this to resolve whole
+    #: objects with bitset sweeps over writer/any-top masks instead of
+    #: consulting the spec per pair.  Specs with value-dependent
+    #: conflict relations simply omit it (consumers probe with a False
+    #: default and fall back to per-pair memoized verdicts).
+    conflicts_iff_writer: ClassVar[bool] = True
 
     def apply(self, state: Any, op: Any) -> Tuple[Any, Any]:
         """Apply one operation to a data value; returns ``(new_state, value)``.

@@ -90,7 +90,10 @@ def conflict_pairs(
     each other — only pairs with at least one state-changing operation
     reach the specification — and verdicts come from the index's shared
     :class:`repro.core.history.ConflictCache`.  ``indexed=False`` forces
-    the all-pairs scan, kept as the A/B baseline.
+    the all-pairs scan, kept as the A/B baseline.  An index carrying a
+    columnar store (``HistoryIndex(..., columnar=True)``) resolves the
+    relation from the dense int columns instead — same edges, one linear
+    bitset sweep per read/write object.
     """
     if (
         indexed
@@ -98,6 +101,11 @@ def conflict_pairs(
         and index.system_type is system_type
         and index.covers(behavior)
     ):
+        store = index.columnar
+        if store is not None:
+            from .columnar import columnar_conflict_edges
+
+            return columnar_conflict_edges(store)
         return _conflict_pairs_indexed(index, system_type)
     index = index if index is not None else StatusIndex(behavior)
     visible = visible_projection(behavior, ROOT, index)
@@ -191,6 +199,11 @@ def precedes_pairs(
     rebuilt by a scan.
     """
     if isinstance(index, HistoryIndex) and index.covers(behavior):
+        store = index.columnar
+        if store is not None:
+            from .columnar import columnar_precedes_edges
+
+            return columnar_precedes_edges(store)
         first_report = index.first_report
         request_positions = index.request_create_positions
         edges: Set[SiblingEdge] = set()
@@ -348,6 +361,7 @@ def build_serialization_graph(
     tracer: Optional[Tracer] = None,
     metrics: Optional[MetricsRegistry] = None,
     indexed: bool = True,
+    columnar: bool = False,
 ) -> SerializationGraph:
     """Construct ``SG(beta)`` from a sequence of serial actions.
 
@@ -361,8 +375,31 @@ def build_serialization_graph(
     :class:`StatusIndex` scans as the A/B baseline.  ``tracer`` adds
     sub-phase spans (node seeding, conflict and precedes enumeration);
     ``metrics`` records node/edge gauges.  Both default to no-ops.
+
+    ``columnar=True`` builds the graph from the dense-int engine: the
+    behavior streams into a :class:`repro.core.columnar.ColumnarHistory`
+    (reusing the store on a covering ``HistoryIndex(..., columnar=True)``
+    when one is passed) and the returned graph is the lazily-materialised
+    :class:`repro.core.columnar.ColumnarSerializationGraph` — identical
+    structure, cycles and sibling orders to the other lanes.
     """
     tracer = tracer if tracer is not None else NULL_TRACER
+    if columnar:
+        from .columnar import build_columnar_graph
+
+        store = None
+        if (
+            isinstance(index, HistoryIndex)
+            and index.system_type is system_type
+            and index.covers(behavior)
+        ):
+            store = index.columnar
+        if store is None:
+            store = HistoryIndex(
+                behavior, system_type, metrics, columnar=True
+            ).columnar
+        assert store is not None
+        return build_columnar_graph(store, tracer=tracer, metrics=metrics)
     if index is None:
         index = (
             HistoryIndex(behavior, system_type, metrics)

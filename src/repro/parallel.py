@@ -73,7 +73,12 @@ class CaseVerdict:
         return f"{self.label}: {status} [{self.events} events]{suffix}"
 
 
-def _judge_case(case: Case, validate_input: bool, indexed: bool = True) -> CaseVerdict:
+def _judge_case(
+    case: Case,
+    validate_input: bool,
+    indexed: bool = True,
+    columnar: bool = False,
+) -> CaseVerdict:
     label, behavior, system_type = case
     certificate = certify(
         behavior,
@@ -81,6 +86,7 @@ def _judge_case(case: Case, validate_input: bool, indexed: bool = True) -> CaseV
         construct_witness=False,
         validate_input=validate_input,
         indexed=indexed,
+        columnar=columnar,
     )
     return CaseVerdict(
         label,
@@ -92,10 +98,10 @@ def _judge_case(case: Case, validate_input: bool, indexed: bool = True) -> CaseV
     )
 
 
-def _certify_shard(payload: Tuple[List[Tuple[int, Case]], bool, bool]):
-    shard, validate_input, indexed = payload
+def _certify_shard(payload: Tuple[List[Tuple[int, Case]], bool, bool, bool]):
+    shard, validate_input, indexed, columnar = payload
     return [
-        (position, _judge_case(case, validate_input, indexed))
+        (position, _judge_case(case, validate_input, indexed, columnar))
         for position, case in shard
     ]
 
@@ -121,6 +127,7 @@ def certify_corpus(
     validate_input: bool = False,
     metrics: Optional[MetricsRegistry] = None,
     indexed: bool = True,
+    columnar: bool = False,
 ) -> List[CaseVerdict]:
     """Batch-certify a corpus of behaviors, sharded over ``jobs`` workers.
 
@@ -131,14 +138,16 @@ def certify_corpus(
     inline in this process.  ``metrics`` records the shard fan-out and
     accept/reject counts.  Each case's :func:`repro.core.certify` builds
     one shared history index per behavior; ``indexed=False`` selects the
-    naive per-phase scans (the A/B baseline).
+    naive per-phase scans and ``columnar=True`` the dense-int columnar
+    engine (the third A/B lane) — verdicts are identical across lanes.
     """
     if jobs < 1:
         raise ValueError("jobs must be at least 1")
     jobs = min(jobs, len(cases)) if cases else 1
     if jobs <= 1:
         verdicts = [
-            _judge_case(case, validate_input, indexed=indexed) for case in cases
+            _judge_case(case, validate_input, indexed=indexed, columnar=columnar)
+            for case in cases
         ]
         shards = 1 if cases else 0
     else:
@@ -147,7 +156,10 @@ def certify_corpus(
         with _pool_context().Pool(jobs) as pool:
             chunks = pool.map(
                 _certify_shard,
-                [(shard, validate_input, indexed) for shard in sharded],
+                [
+                    (shard, validate_input, indexed, columnar)
+                    for shard in sharded
+                ],
             )
         ordered: List[Tuple[int, CaseVerdict]] = [
             entry for chunk in chunks for entry in chunk

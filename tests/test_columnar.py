@@ -1,0 +1,321 @@
+"""The columnar engine: three-way lane equivalence and dense-state checks.
+
+The dense-int struct-of-arrays engine (``certify(columnar=True)``) must
+be observably identical to both the naive scans (``indexed=False``) and
+the PR 3 history index (``indexed=True``): same verdicts, same ARV
+diagnostics, same cycle witnesses, same graph edges, same serial
+witnesses.  This suite sweeps 300 seeds across the existing generators,
+plus directed cases for the spots where a bitset engine can silently go
+wrong: word-size boundaries (>64 transactions), late-ABORT visibility
+flips, and contended interleavings with cycle witnesses.
+"""
+
+import pytest
+
+from repro.core import certify, certify_columnar
+from repro.core.columnar import ColumnarHistory, build_columnar_graph
+from repro.core.correctness import build_witness  # noqa: F401  (re-exported check)
+from repro.core.events import serial_projection
+from repro.core.history import ConflictCache, HistoryIndex
+from repro.core.names import ROOT
+from repro.core.oracle import oracle_serially_correct
+from repro.core.serialization_graph import (
+    build_serialization_graph,
+    conflict_pairs,
+    precedes_pairs,
+)
+from repro.core.view import serializability_theorem_applies
+from repro.parallel import certify_corpus
+
+from conftest import (
+    BehaviorBuilder,
+    dirty_read_behavior,
+    lost_update_behavior,
+    rw_system,
+    serial_two_txn_behavior,
+)
+from test_core_properties import random_simple_behavior
+from test_online import random_contended_behavior
+
+
+def graph_edges(certificate):
+    return sorted(
+        (e.source, e.target, e.kind) for e in certificate.graph.edges()
+    )
+
+
+def assert_lanes_agree(behavior, system, seed=None):
+    """All three lanes produce indistinguishable certificates."""
+    naive = certify(behavior, system, indexed=False)
+    fast = certify(behavior, system, indexed=True)
+    dense = certify(behavior, system, columnar=True)
+    assert naive.certified == fast.certified == dense.certified, seed
+    assert naive.cycle == fast.cycle == dense.cycle, seed
+    assert (
+        [str(v) for v in naive.arv_violations]
+        == [str(v) for v in fast.arv_violations]
+        == [str(v) for v in dense.arv_violations]
+    ), seed
+    assert graph_edges(naive) == graph_edges(fast) == graph_edges(dense), seed
+    assert naive.witness == fast.witness == dense.witness, seed
+    return dense
+
+
+class TestThreeWayEquivalence:
+    """naive ≡ indexed ≡ columnar, 300 seeds across both generators."""
+
+    def test_220_simple_seeds_agree(self):
+        rejected_seen = 0
+        for seed in range(220):
+            behavior, system = random_simple_behavior(seed, steps=30)
+            dense = assert_lanes_agree(behavior, system, seed)
+            rejected_seen += not dense.certified
+        # the sweep must exercise both verdicts, or it proves nothing
+        assert 0 < rejected_seen < 220
+
+    def test_80_contended_seeds_agree_on_cycle_witnesses(self):
+        cyclic_seen = 0
+        for seed in range(80):
+            behavior, system = random_contended_behavior(seed)
+            dense = assert_lanes_agree(behavior, system, seed)
+            cyclic_seen += dense.cycle is not None
+        assert cyclic_seen > 0
+
+    @pytest.mark.parametrize(
+        "scenario",
+        [serial_two_txn_behavior, lost_update_behavior, dirty_read_behavior],
+    )
+    def test_canonical_scenarios_agree(self, scenario):
+        behavior, system = scenario()
+        assert_lanes_agree(behavior, system)
+
+    def test_late_abort_flips_orphan_and_visibility_bitsets(self):
+        """A parent ABORT arriving after its child's accesses must retire
+        the whole subtree from the visible bitset and enter the orphan one."""
+        system = rw_system("x")
+        build = BehaviorBuilder(system)
+        doomed = build.begin_top("doomed")
+        build.write(doomed, "w", "x", 41)
+        keeper = build.begin_top("keeper")
+        build.write(keeper, "w", "x", 7)
+        build.commit(keeper)
+        # child committed, then the parent aborts late: reads of 41 must
+        # not be required, and doomed's write must not reach conflict
+        # enumeration in any lane
+        build.abort(doomed)
+        behavior, _ = build.build(), None
+        assert_lanes_agree(behavior, system)
+        store = ColumnarHistory(system, conflict_cache=ConflictCache())
+        store.extend(behavior)
+        doomed_id = store.txn_id_of(doomed)
+        keeper_id = store.txn_id_of(keeper)
+        assert store.orphan_flags()[doomed_id] == 1
+        assert store.visible_flags()[doomed_id] == 0
+        assert store.orphan_flags()[keeper_id] == 0
+        assert store.visible_flags()[keeper_id] == 1
+        # memoized HistoryIndex answers and bitset answers coincide
+        index = HistoryIndex(behavior, system, columnar=True)
+        slow = HistoryIndex(behavior, system)
+        for name in store.txn_names:
+            assert index.is_orphan(name) == slow.is_orphan(name), name
+            assert index.is_visible(name, ROOT) == slow.is_visible(name, ROOT)
+
+    def test_bitset_boundary_beyond_64_transactions(self):
+        """>64 top-level transactions (and >64 events) force the visible
+        and writer bitsets across machine-word boundaries; a word-size
+        bug would drop edges or visibility for the high transactions."""
+        system = rw_system("x")
+        build = BehaviorBuilder(system)
+        tops = []
+        for i in range(70):
+            top = build.begin_top(f"t{i:02d}")
+            # each top reads then writes the one hot object: every
+            # adjacent pair conflicts, across all word boundaries
+            build.read(top, "r", "x", 0 if i == 0 else i)
+            build.write(top, "w", "x", i + 1)
+            build.commit(top)
+            tops.append(top)
+        behavior = build.build()
+        dense = assert_lanes_agree(behavior, system)
+        assert len(behavior) > 64 * 7  # comfortably past one word of events
+        store = ColumnarHistory(system, conflict_cache=ConflictCache())
+        store.extend(behavior)
+        assert len(store.txn_names) > 64
+        flags = store.visible_flags()
+        for top in tops:
+            assert flags[store.txn_id_of(top)] == 1, top
+        # the serial chain must certify; all conflict edges found
+        assert dense.certified
+        assert store.visible_bits().bit_length() > 64
+
+    def test_out_of_order_commits_above_64_transactions_cycle(self):
+        """A contended workload stretched past the word boundary still
+        yields identical cycle witnesses across lanes."""
+        behavior, system = random_contended_behavior(11, transactions=25)
+        store = ColumnarHistory(system, conflict_cache=ConflictCache())
+        store.extend(behavior)
+        assert len(store.txn_names) > 64  # 25 tops × (1 + 2 accesses) + root
+        assert_lanes_agree(behavior, system)
+
+
+class TestColumnarPlumbing:
+    """The columnar lane is reachable from every certifier entry point."""
+
+    def test_graph_builder_columnar_flag(self):
+        behavior, system = random_simple_behavior(5, steps=30)
+        serial = serial_projection(behavior)
+        plain = build_serialization_graph(serial, system, columnar=False)
+        dense = build_serialization_graph(serial, system, columnar=True)
+        assert sorted(plain.nodes()) == sorted(dense.nodes())
+        assert sorted(
+            (e.source, e.target, e.kind) for e in plain.edges()
+        ) == sorted((e.source, e.target, e.kind) for e in dense.edges())
+        assert plain.find_cycle() == dense.find_cycle()
+
+    def test_pair_enumerations_route_through_the_columnar_store(self):
+        for seed in (3, 17, 42):
+            behavior, system = random_simple_behavior(seed, steps=40)
+            serial = serial_projection(behavior)
+            plain = HistoryIndex(serial, system)
+            dense = HistoryIndex(serial, system, columnar=True)
+            assert dense.columnar is not None
+            assert conflict_pairs(serial, system, dense) == conflict_pairs(
+                serial, system, plain
+            ), seed
+            assert precedes_pairs(serial, dense) == precedes_pairs(
+                serial, plain
+            ), seed
+
+    def test_oracle_and_view_accept_the_flag(self):
+        behavior, system = serial_two_txn_behavior()
+        assert oracle_serially_correct(behavior, system, columnar=True).correct
+        assert oracle_serially_correct(behavior, system, columnar=False).correct
+        certificate = certify(behavior, system, columnar=True)
+        assert certificate.order is not None
+        assert (
+            serializability_theorem_applies(
+                behavior, ROOT, certificate.order, system, columnar=True
+            )
+            == serializability_theorem_applies(
+                behavior, ROOT, certificate.order, system, columnar=False
+            )
+            == []
+        )
+
+    def test_corpus_certification_matches_across_lanes(self):
+        cases = []
+        for seed in range(12):
+            behavior, system = random_contended_behavior(seed)
+            cases.append((f"case-{seed}", behavior, system))
+        dense = certify_corpus(cases, jobs=1, columnar=True)
+        plain = certify_corpus(cases, jobs=1, columnar=False)
+        assert dense == plain
+
+    def test_certify_columnar_streams_a_lazy_behavior(self):
+        """No materialised list: a generator feeds the columns directly."""
+        behavior, system = random_simple_behavior(9, steps=40)
+        eager = certify(behavior, system, construct_witness=False)
+        lazy = certify_columnar(
+            (action for action in behavior),
+            system,
+            construct_witness=False,
+        )
+        assert eager.certified == lazy.certified
+        assert eager.cycle == lazy.cycle
+
+    def test_shared_cache_memoizes_generic_spec_verdicts(self):
+        """Without the RW structural marker the engine falls back to the
+        memoized pair scan; a shared cache answers the second run's
+        verdicts entirely from the dense-id table."""
+        from repro.core.names import ObjectName, SystemType
+        from repro.core.rw_semantics import RWSpec
+
+        class OpaqueRWSpec(RWSpec):
+            # hide the structural marker: forces per-pair verdicts
+            conflicts_iff_writer = False
+
+        system = SystemType({ObjectName("x"): OpaqueRWSpec(initial=0)})
+        build = BehaviorBuilder(system)
+        for i in range(4):
+            top = build.begin_top(f"t{i}")
+            build.write(top, "w", "x", i)
+            build.commit(top)
+        behavior = build.build()
+        cache = ConflictCache()
+        first = certify_columnar(
+            behavior, system, construct_witness=False, conflict_cache=cache
+        )
+        assert cache.misses > 0
+        misses_after_first = cache.misses
+        second = certify_columnar(
+            behavior, system, construct_witness=False, conflict_cache=cache
+        )
+        assert first.certified == second.certified
+        # every verdict the second run needed was already memoized
+        assert cache.misses == misses_after_first
+        assert cache.hits > 0
+
+    def test_rw_bitset_sweep_never_consults_the_spec(self):
+        """With the marker present, whole RW objects resolve by bitwise
+        sweeps: the shared verdict table stays empty."""
+        behavior, system = random_contended_behavior(3)
+        cache = ConflictCache()
+        certificate = certify_columnar(
+            behavior, system, construct_witness=False, conflict_cache=cache
+        )
+        reference = certify(behavior, system, construct_witness=False)
+        assert certificate.certified == reference.certified
+        assert len(cache) == 0  # no per-pair verdicts were ever needed
+
+    def test_graph_materializes_lazily_and_identically(self):
+        behavior, system = random_contended_behavior(7)
+        serial = serial_projection(behavior)
+        store = ColumnarHistory(system, conflict_cache=ConflictCache())
+        store.extend(serial)
+        graph = build_columnar_graph(store)
+        reference = build_serialization_graph(serial, system)
+        # structural queries before materialisation
+        assert graph.edge_count() == reference.edge_count()
+        assert graph.find_cycle() == reference.find_cycle()
+        # walking edges materialises the object digraphs
+        assert sorted(
+            (e.source, e.target, e.kind) for e in graph.edges()
+        ) == sorted((e.source, e.target, e.kind) for e in reference.edges())
+        assert graph.parents() == reference.parents()
+
+
+class TestColumnarStore:
+    """Dense-store internals: interning, bitsets, metrics."""
+
+    def test_parent_ids_precede_child_ids(self):
+        behavior, system = random_simple_behavior(21, steps=40)
+        store = ColumnarHistory(system, conflict_cache=ConflictCache())
+        store.extend(behavior)
+        for dense in range(1, len(store.txn_names)):
+            assert store.txn_parent[dense] < dense
+        assert store.txn_names[0] is ROOT
+
+    def test_non_serial_actions_are_dropped(self):
+        from repro.core.actions import InformCommit
+
+        system = rw_system("x")
+        store = ColumnarHistory(system, conflict_cache=ConflictCache())
+        build = BehaviorBuilder(system)
+        top = build.begin_top("t")
+        build.commit(top)
+        count = store.extend(build.build())
+        before = store.events
+        assert not store.append(InformCommit(ROOT, top))
+        assert store.events == before == count
+
+    def test_build_metrics_are_emitted(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        behavior, system = random_simple_behavior(2, steps=30)
+        metrics = MetricsRegistry()
+        certify(behavior, system, columnar=True, metrics=metrics)
+        snapshot = metrics.snapshot()
+        assert snapshot["counters"]["history.columnar.builds"] == 1
+        assert snapshot["counters"]["history.columnar.events"] > 0
+        assert snapshot["gauges"]["history.columnar.transactions"] > 1
+        assert snapshot["counters"]["certify.runs"] == 1
