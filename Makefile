@@ -1,6 +1,6 @@
 # Convenience targets for the repro library.
 
-.PHONY: install test bench bench-smoke examples scenarios trace-demo docs lint typecheck ci all
+.PHONY: install test bench bench-smoke examples scenarios trace-demo docs lint typecheck robustness ci all
 
 install:
 	pip install -e . || python setup.py develop
@@ -49,8 +49,13 @@ typecheck:
 		echo "typecheck: mypy not installed, skipping (pip install mypy)"; \
 	fi
 
+# Program-level robustness analysis over the scenario catalogue, with
+# dynamic validation of every NOT-ROBUST verdict (the CI robustness job)
+robustness:
+	PYTHONPATH=src python -m repro robustness
+
 # Mirror the GitHub Actions CI jobs locally
-ci: lint typecheck
+ci: lint typecheck robustness
 	PYTHONPATH=src python -m pytest -x -q
 
 all: test bench examples

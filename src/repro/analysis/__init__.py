@@ -16,11 +16,17 @@ only samples.  This package proves them at lint time instead:
 * :mod:`repro.analysis.drift` — drift detectors keeping
   ``docs/OBSERVABILITY.md`` in sync with the metric names the source
   actually emits, and ``EXPERIMENTS.md`` in sync with
-  ``benchmarks/bench_*.py``, in both directions.
+  ``benchmarks/bench_*.py``, in both directions;
+* :mod:`repro.analysis.robustness` — the static robustness analyzer:
+  program-level serialization graphs over the :mod:`repro.sim.programs`
+  templates, dangerous-structure detection (lost update, write skew,
+  fractured read), and a validation bridge that machine-checks every
+  NOT-ROBUST verdict against the dynamic certifier (``repro
+  robustness``).
 
-All three engines run via ``repro lint [--json] [--rules ...]`` and the
+The lint engines run via ``repro lint [--json] [--rules ...]`` and the
 ``make lint`` target; see ``docs/STATIC_ANALYSIS.md`` for the rule
-catalogue and suppression syntax.
+catalogue, the robustness verdict semantics, and suppression syntax.
 """
 
 from .linter import Finding, LintContext, LintEngine, ModuleUnit, Rule, lint_paths
@@ -33,6 +39,12 @@ from .drift import (
     check_metrics_drift,
     documented_metric_names,
     source_metric_names,
+)
+from .robustness import (
+    NOT_ROBUST,
+    ROBUST,
+    RobustnessReport,
+    analyze_robustness,
 )
 
 __all__ = [
@@ -54,4 +66,8 @@ __all__ = [
     "check_metrics_drift",
     "documented_metric_names",
     "source_metric_names",
+    "ROBUST",
+    "NOT_ROBUST",
+    "RobustnessReport",
+    "analyze_robustness",
 ]

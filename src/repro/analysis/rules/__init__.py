@@ -16,12 +16,14 @@ from .ab_flags import ABFlagRule
 from .hygiene import HygieneRule
 from .quadratic import QuadraticPatternRule
 from .automaton import AutomatonPreconditionRule
+from .programs import ProgramRegistryRule
 
 __all__ = [
     "ABFlagRule",
     "HygieneRule",
     "QuadraticPatternRule",
     "AutomatonPreconditionRule",
+    "ProgramRegistryRule",
     "all_rules",
     "rule_by_id",
 ]
@@ -31,6 +33,7 @@ _RULE_CLASSES: Sequence[Type[Rule]] = (
     HygieneRule,
     QuadraticPatternRule,
     AutomatonPreconditionRule,
+    ProgramRegistryRule,
 )
 
 

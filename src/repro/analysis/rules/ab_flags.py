@@ -27,7 +27,13 @@ from ..linter import Finding, LintContext, ModuleUnit, Rule
 __all__ = ["ABFlagRule", "AB_FLAGS"]
 
 #: The keyword flags that select between A/B engine implementations.
-AB_FLAGS: Tuple[str, ...] = ("indexed", "incremental", "compaction", "columnar")
+AB_FLAGS: Tuple[str, ...] = (
+    "indexed",
+    "incremental",
+    "compaction",
+    "columnar",
+    "validate",
+)
 
 _FunctionNode = (ast.FunctionDef, ast.AsyncFunctionDef)
 

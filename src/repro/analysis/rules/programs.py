@@ -1,0 +1,117 @@
+"""R005 — transaction programs flow through the program registry.
+
+The :mod:`repro.sim.programs` DSL derives a system type's access
+registry from the program structure itself (``system_type_for`` /
+``collect_programs``), which is what keeps the static robustness
+analyzer, the program automata, and the certifier looking at the *same*
+access footprint.  A module that builds :class:`TransactionProgram`
+values but registers accesses by hand (``register_access``) — or never
+routes the programs through the registry helpers at all — reopens the
+drift the DSL closed: the analyzer would certify one program while the
+simulator runs another.
+
+Two checks:
+
+1. **No hand-built registries next to programs** — a single function
+   that both constructs a program (``TransactionProgram``/``seq``/
+   ``par``/``access_sequence``) and calls ``register_access`` is mixing
+   the declarative and imperative styles; derive the registry instead.
+2. **Programs reach the registry** — a module that constructs programs
+   must reference ``system_type_for`` or ``collect_programs`` somewhere
+   (defining them counts: the DSL module is its own registry).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from ..linter import Finding, LintContext, ModuleUnit, Rule
+
+__all__ = ["ProgramRegistryRule"]
+
+#: Call targets that construct a transaction program.
+_CONSTRUCTORS = frozenset(
+    {"TransactionProgram", "seq", "par", "access_sequence"}
+)
+
+#: Helpers that derive the access registry from program structure.
+_REGISTRY_HELPERS = frozenset({"system_type_for", "collect_programs"})
+
+_FunctionNode = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _call_name(node: ast.Call) -> str:
+    target = node.func
+    if isinstance(target, ast.Name):
+        return target.id
+    if isinstance(target, ast.Attribute):
+        return target.attr
+    return ""
+
+
+def _module_identifiers(tree: ast.Module) -> Set[str]:
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            names.add(node.attr)
+        elif isinstance(node, _FunctionNode):
+            names.add(node.name)
+        elif isinstance(node, ast.ImportFrom):
+            names.update(alias.name for alias in node.names)
+    return names
+
+
+class ProgramRegistryRule(Rule):
+    """R005: program construction derives its registry, never hand-builds it."""
+
+    rule_id = "R005"
+    title = "Transaction programs must flow through the program registry"
+    tags = ("programs",)
+
+    def check_module(
+        self, unit: ModuleUnit, context: LintContext
+    ) -> Iterator[Finding]:
+        """Flag hand-built access registries next to program construction."""
+        constructs_anywhere = False
+        first_construction = 0
+        for node in ast.walk(unit.tree):
+            if not isinstance(node, _FunctionNode):
+                continue
+            constructs = None
+            registers = None
+            for inner in ast.walk(node):
+                if isinstance(inner, ast.Call):
+                    name = _call_name(inner)
+                    if name in _CONSTRUCTORS and constructs is None:
+                        constructs = inner
+                    elif name == "register_access" and registers is None:
+                        registers = inner
+            if constructs is not None:
+                constructs_anywhere = True
+                if not first_construction:
+                    first_construction = node.lineno
+            if constructs is not None and registers is not None:
+                yield Finding(
+                    self.rule_id,
+                    unit.display_path,
+                    registers.lineno,
+                    f"{node.name}() builds a TransactionProgram and also "
+                    "calls register_access() — derive the registry with "
+                    "system_type_for()/collect_programs() instead of "
+                    "hand-building it",
+                )
+        if constructs_anywhere:
+            identifiers = _module_identifiers(unit.tree)
+            if not identifiers & _REGISTRY_HELPERS:
+                yield Finding(
+                    self.rule_id,
+                    unit.display_path,
+                    first_construction,
+                    "module constructs TransactionPrograms but never "
+                    "routes them through system_type_for()/"
+                    "collect_programs() — the access registry and the "
+                    "programs can drift apart",
+                )

@@ -12,6 +12,7 @@ Subcommands::
     python -m repro metrics snapshot.json [--serve PORT]
     python -m repro explain run.json [--json out.json] [--dot graph.dot]
     python -m repro lint   [--json] [--rules R001 spec drift]
+    python -m repro robustness [--json] [--explain] [scenario ...]
 
 ``record`` simulates a nested-transaction workload and writes the
 (behavior, system type) pair as JSON; with ``--runs N`` it records a
@@ -50,10 +51,18 @@ annotated ``--dot`` rendering.  Exit status 2 when a cycle was found
 and explained, 0 when the behavior's graph is acyclic.
 
 ``lint`` runs the project static analysis (:mod:`repro.analysis`): the
-AST rules R001–R004, the spec-soundness checker and the docs drift
+AST rules R001–R005, the spec-soundness checker and the docs drift
 detectors.  Exit status is 0 when clean, 1 when any problem is found,
 2 on a usage error; ``--json`` emits one machine-readable report (see
 ``docs/STATIC_ANALYSIS.md``).
+
+``robustness`` runs the static robustness analyzer
+(:mod:`repro.analysis.robustness`) over the shipped program-scenario
+catalogue (optionally plus ``--generated N`` workload program sets),
+checking every verdict against its recorded ROBUST/NOT-ROBUST
+expectation and — unless ``--no-validate`` — machine-checking each
+NOT-ROBUST verdict by driving a concrete cyclic history through the
+certifier.  Exit status 0 on full agreement, 1 on drift.
 """
 
 from __future__ import annotations
@@ -567,6 +576,15 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
             local = "local-ok" if expectation.locally_certified else "local-NO"
             glob = "global-ok" if expectation.globally_certified else "global-NO"
             print(f"{name:24s} {local} / {glob}  {expectation.reason}")
+
+        from .scenarios import PROGRAM_SCENARIOS
+
+        print()
+        print("program scenarios (run with: repro robustness [NAME]):")
+        for name, (_, robustness) in PROGRAM_SCENARIOS.items():
+            verdict = "ROBUST" if robustness.robust else "NOT-ROBUST"
+            shape = f" [{robustness.classification}]" if robustness.classification else ""
+            print(f"{name:24s} {verdict:10s}{shape}  {robustness.reason}")
     return 0
 
 
@@ -784,6 +802,89 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         print("repro lint: clean" if total == 0 else
               f"repro lint: {total} problem(s)")
     return 0 if total == 0 else 1
+
+
+def _cmd_robustness(args: argparse.Namespace) -> int:
+    from .analysis.robustness import analyze_robustness
+    from .scenarios import PROGRAM_SCENARIOS, build_program_scenario
+
+    validate = not args.no_validate
+    try:
+        names = list(args.names) if args.names else list(PROGRAM_SCENARIOS)
+        for name in names:
+            if name not in PROGRAM_SCENARIOS:
+                raise KeyError(name)
+    except KeyError as exc:
+        print(
+            f"repro robustness: unknown program scenario {exc.args[0]!r}; "
+            f"available: {', '.join(PROGRAM_SCENARIOS)}",
+            file=sys.stderr,
+        )
+        return 2
+    entries = []
+    mismatches = 0
+    for name in names:
+        objects, programs, expectation = build_program_scenario(name)
+        report = analyze_robustness(
+            objects, programs, validate=validate and not expectation.robust
+        )
+        verdict_match = report.robust == expectation.robust
+        class_match = (
+            not expectation.classification
+            or expectation.classification in report.classifications
+        )
+        witnessed = report.witnessed if report.validations else None
+        matched = verdict_match and class_match and witnessed is not False
+        if not matched:
+            mismatches += 1
+        entries.append((name, expectation, report, matched))
+    generated = []
+    if args.generated:
+        from .sim.workload import WorkloadConfig, generate_program_set
+
+        for offset in range(args.generated):
+            config = WorkloadConfig(
+                objects=2, top_level=3, max_calls=2, seed=args.seed + offset
+            )
+            objects, programs = generate_program_set(config)
+            report = analyze_robustness(objects, programs, validate=False)
+            generated.append((config.seed, report))
+    if args.json:
+        payload = {
+            "ok": mismatches == 0,
+            "scenarios": [
+                {
+                    "name": name,
+                    "expected": {
+                        "robust": expectation.robust,
+                        "classification": expectation.classification,
+                    },
+                    "matched": matched,
+                    "report": report.to_dict(),
+                }
+                for name, expectation, report, matched in entries
+            ],
+            "generated": [
+                {"seed": seed, "report": report.to_dict()}
+                for seed, report in generated
+            ],
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        for name, expectation, report, matched in entries:
+            expected = "ROBUST" if expectation.robust else "NOT-ROBUST"
+            marker = "OK" if matched else "UNEXPECTED"
+            detail = expectation.classification or expectation.reason
+            print(
+                f"{name:24s} {report.verdict:10s} (expected {expected:10s}) "
+                f"[{marker}]  {detail}"
+            )
+            if args.explain:
+                for line in report.explain().splitlines()[1:]:
+                    print(f"    {line}")
+        for seed, report in generated:
+            print(f"generated seed={seed:<6d} {report.verdict}")
+    return 0 if mismatches == 0 else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -1006,6 +1107,32 @@ def build_parser() -> argparse.ArgumentParser:
                       help="repository root for tests/docs discovery "
                            "(default: inferred from the package location)")
     lint.set_defaults(func=_cmd_lint)
+
+    robustness = subparsers.add_parser(
+        "robustness",
+        help="static robustness analysis of the program-scenario "
+             "catalogue (and generated program sets)",
+        description="Exit status: 0 when every scenario's verdict "
+                    "matches its shipped expectation, 1 on drift, 2 on "
+                    "usage error. See docs/STATIC_ANALYSIS.md.",
+    )
+    robustness.add_argument("names", nargs="*", metavar="scenario",
+                            help="program scenarios to analyse "
+                                 "(default: the whole catalogue)")
+    robustness.add_argument("--json", action="store_true",
+                            help="emit one machine-readable JSON report")
+    robustness.add_argument("--explain", action="store_true",
+                            help="print counterexample sketches for "
+                                 "NOT-ROBUST verdicts")
+    robustness.add_argument("--no-validate", action="store_true",
+                            help="skip the dynamic validation bridge "
+                                 "(static verdicts only)")
+    robustness.add_argument("--generated", type=int, default=0, metavar="N",
+                            help="additionally analyse N generated "
+                                 "program sets (static only)")
+    robustness.add_argument("--seed", type=int, default=0,
+                            help="base seed for --generated")
+    robustness.set_defaults(func=_cmd_robustness)
     return parser
 
 

@@ -37,10 +37,32 @@ from .core.actions import (
     RequestCommit,
     RequestCreate,
 )
-from .core.names import Access, ObjectName, SystemType, TransactionName
+from .core.names import ROOT, Access, ObjectName, SystemType, TransactionName
 from .core.rw_semantics import OK, ReadOp, RWSpec, WriteOp
+from .sim.programs import (
+    SubtransactionCall,
+    TransactionProgram,
+    par,
+    read,
+    seq,
+    sub,
+    system_type_for,
+    write,
+)
+from .spec.builtin import CounterInc, CounterType
+from .sim.programs import op as op_call
 
-__all__ = ["Expectation", "SCENARIOS", "build_scenario", "scenario_names"]
+__all__ = [
+    "Expectation",
+    "SCENARIOS",
+    "build_scenario",
+    "scenario_names",
+    "RobustnessExpectation",
+    "PROGRAM_SCENARIOS",
+    "build_program_scenario",
+    "program_scenario_names",
+    "program_system_type",
+]
 
 
 @dataclass(frozen=True)
@@ -212,3 +234,220 @@ def build_scenario(name: str) -> Tuple[Behavior, SystemType, Expectation]:
         ) from None
     behavior, system_type = factory()
     return behavior, system_type, expectation
+
+
+# ---------------------------------------------------------------------------
+# Program-template scenarios (static robustness catalogue)
+# ---------------------------------------------------------------------------
+#
+# Where the behaviors above are *executions*, these are *programs*: the
+# design-time counterpart analysed by repro.analysis.robustness.  Every
+# shipped program scenario carries its expected ROBUST/NOT-ROBUST
+# verdict (and the dangerous-structure class for the NOT-ROBUST ones);
+# the CI robustness gate re-derives the verdicts and fails on any drift.
+
+
+@dataclass(frozen=True)
+class RobustnessExpectation:
+    """The expected static verdict for a program scenario."""
+
+    robust: bool
+    classification: str = ""
+    reason: str = ""
+
+
+_ProgramSet = Tuple[Dict[ObjectName, object], Dict[TransactionName, TransactionProgram]]
+
+_X = ObjectName("x")
+_Y = ObjectName("y")
+
+
+def _rw_objects() -> Dict[ObjectName, object]:
+    return {_X: RWSpec(initial=0), _Y: RWSpec(initial=0)}
+
+
+def _p_serial_chain() -> _ProgramSet:
+    root = seq(
+        sub(seq(read(_X), write(_X, 1)), "t1"),
+        sub(seq(read(_X), write(_X, 2)), "t2"),
+    )
+    return _rw_objects(), {ROOT: root}
+
+
+def _p_read_only() -> _ProgramSet:
+    root = par(
+        sub(seq(read(_X), read(_Y)), "t1"),
+        sub(seq(read(_Y), read(_X)), "t2"),
+    )
+    return _rw_objects(), {ROOT: root}
+
+
+def _p_commuting_counters() -> _ProgramSet:
+    counter = ObjectName("c")
+    root = par(
+        sub(seq(op_call(counter, CounterInc(1), "i1"), op_call(counter, CounterInc(2), "i2")), "t1"),
+        sub(seq(op_call(counter, CounterInc(3), "i1"), op_call(counter, CounterInc(4), "i2")), "t2"),
+    )
+    return {counter: CounterType()}, {ROOT: root}
+
+
+def _p_disjoint_writers() -> _ProgramSet:
+    root = par(
+        sub(seq(read(_X), write(_X, 1)), "t1"),
+        sub(seq(read(_Y), write(_Y, 1)), "t2"),
+    )
+    return _rw_objects(), {ROOT: root}
+
+
+def _p_lost_update() -> _ProgramSet:
+    root = par(
+        sub(seq(read(_X), write(_X, 1)), "t1"),
+        sub(seq(read(_X), write(_X, 2)), "t2"),
+    )
+    return _rw_objects(), {ROOT: root}
+
+
+def _p_write_skew() -> _ProgramSet:
+    root = par(
+        sub(seq(read(_X), write(_Y, 1)), "t1"),
+        sub(seq(read(_Y), write(_X, 1)), "t2"),
+    )
+    return _rw_objects(), {ROOT: root}
+
+
+def _p_fractured_read() -> _ProgramSet:
+    root = par(
+        sub(seq(write(_X, 1), write(_Y, 1)), "t1"),
+        sub(seq(read(_X), read(_Y)), "t2"),
+    )
+    return _rw_objects(), {ROOT: root}
+
+
+def _p_fallback_retry() -> _ProgramSet:
+    # the race only exists on the disjunctive path: t1's fallback (taken
+    # after its direct branch aborts) collides with t2 on y
+    root = par(
+        sub(
+            par(
+                SubtransactionCall("direct", seq(read(_X), write(_X, 5))),
+                SubtransactionCall(
+                    "fallback",
+                    seq(read(_Y), write(_Y, 5)),
+                    after_abort_of="direct",
+                ),
+            ),
+            "t1",
+        ),
+        sub(seq(read(_Y), write(_Y, 7)), "t2"),
+    )
+    return _rw_objects(), {ROOT: root}
+
+
+def _p_nested_write_skew() -> _ProgramSet:
+    # the dangerous group lives one level down, inside a single template
+    root = seq(
+        sub(
+            par(
+                sub(seq(read(_X), write(_Y, 1)), "a"),
+                sub(seq(read(_Y), write(_X, 1)), "b"),
+            ),
+            "t1",
+        ),
+    )
+    return _rw_objects(), {ROOT: root}
+
+
+PROGRAM_SCENARIOS: Dict[
+    str, Tuple[Callable[[], _ProgramSet], RobustnessExpectation]
+] = {
+    "serial-chain": (
+        _p_serial_chain,
+        RobustnessExpectation(
+            True, reason="sequential root: precedes order excludes every cycle"
+        ),
+    ),
+    "read-only-par": (
+        _p_read_only,
+        RobustnessExpectation(True, reason="reads never conflict (S002)"),
+    ),
+    "commuting-counters": (
+        _p_commuting_counters,
+        RobustnessExpectation(
+            True,
+            reason="increments commute under the counter spec — the probe "
+            "proves no conflict edge exists",
+        ),
+    ),
+    "disjoint-writers": (
+        _p_disjoint_writers,
+        RobustnessExpectation(
+            True, reason="templates touch disjoint objects"
+        ),
+    ),
+    "program-lost-update": (
+        _p_lost_update,
+        RobustnessExpectation(
+            False,
+            classification="lost-update",
+            reason="racing read-modify-writes on one object",
+        ),
+    ),
+    "program-write-skew": (
+        _p_write_skew,
+        RobustnessExpectation(
+            False,
+            classification="write-skew",
+            reason="crossed read/write pairs on two objects",
+        ),
+    ),
+    "program-fractured-read": (
+        _p_fractured_read,
+        RobustnessExpectation(
+            False,
+            classification="fractured-read",
+            reason="a reader can observe half of the writer's pair",
+        ),
+    ),
+    "fallback-retry": (
+        _p_fallback_retry,
+        RobustnessExpectation(
+            False,
+            classification="lost-update",
+            reason="the after_abort_of fallback path races on y",
+        ),
+    ),
+    "nested-write-skew": (
+        _p_nested_write_skew,
+        RobustnessExpectation(
+            False,
+            classification="write-skew",
+            reason="parallel siblings inside one template cross-conflict",
+        ),
+    ),
+}
+
+
+def program_scenario_names() -> List[str]:
+    """The names of all program scenarios, in presentation order."""
+    return list(PROGRAM_SCENARIOS)
+
+
+def build_program_scenario(
+    name: str,
+) -> Tuple[Dict[ObjectName, object], Dict[TransactionName, TransactionProgram], RobustnessExpectation]:
+    """Build a named program scenario; raises ``KeyError`` if unknown."""
+    try:
+        factory, expectation = PROGRAM_SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown program scenario {name!r}; available: "
+            f"{', '.join(PROGRAM_SCENARIOS)}"
+        ) from None
+    objects, programs = factory()
+    return objects, programs, expectation
+
+
+def program_system_type(name: str) -> SystemType:
+    """The registered :class:`SystemType` of a program scenario."""
+    objects, programs, _ = build_program_scenario(name)
+    return system_type_for(objects, programs)

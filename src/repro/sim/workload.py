@@ -56,6 +56,7 @@ __all__ = [
     "QueueKind",
     "MapKind",
     "WorkloadConfig",
+    "generate_program_set",
     "generate_workload",
 ]
 
@@ -253,16 +254,19 @@ def _generate_program(
     return TransactionProgram(tuple(calls), sequential=sequential)
 
 
-def generate_workload(
+def generate_program_set(
     config: WorkloadConfig,
-) -> Tuple[SystemType, Dict[TransactionName, TransactionProgram]]:
-    """Generate ``(system_type, programs)`` from ``config``.
+) -> Tuple[Dict[ObjectName, Any], Dict[TransactionName, TransactionProgram]]:
+    """Generate ``(objects, programs)`` from ``config``.
 
     Deterministic in ``config.seed``.  The returned program map has a
     single entry for the root ``T0``: a parallel program spawning the
     top-level transactions ``t0 .. t{n-1}`` (the paper's classical
-    transactions), each a randomly generated nested program.  Pass both
-    results straight to :func:`repro.generic.system.make_generic_system`.
+    transactions), each a randomly generated nested program.  This is
+    the raw template form the static robustness analyzer consumes
+    (:func:`repro.analysis.robustness.analyze_robustness`); use
+    :func:`generate_workload` when a registered :class:`SystemType` is
+    needed instead.
     """
     rng = random.Random(config.seed)
     objects: Dict[ObjectName, Any] = {
@@ -274,4 +278,16 @@ def generate_workload(
     )
     root_program = TransactionProgram(top_level, sequential=False)
     programs = {TransactionName(()): root_program}
+    return objects, programs
+
+
+def generate_workload(
+    config: WorkloadConfig,
+) -> Tuple[SystemType, Dict[TransactionName, TransactionProgram]]:
+    """Generate ``(system_type, programs)`` from ``config``.
+
+    The registered form of :func:`generate_program_set`: pass both
+    results straight to :func:`repro.generic.system.make_generic_system`.
+    """
+    objects, programs = generate_program_set(config)
     return system_type_for(objects, programs), programs

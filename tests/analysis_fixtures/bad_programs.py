@@ -1,0 +1,21 @@
+"""Known-bad fixture for R005: hand-built registry next to a program."""
+
+from repro.core.names import Access, ObjectName, SystemType, TransactionName
+from repro.core.rw_semantics import ReadOp
+from repro.sim.programs import TransactionProgram, read, seq
+
+
+def hand_built_scenario():
+    # constructs a program AND registers its access by hand — the
+    # registry and the program can drift apart (R005 check 1); the
+    # module also never calls system_type_for/collect_programs (check 2)
+    x = ObjectName("x")
+    program = seq(read(x))
+    system_type = SystemType({x: None})
+    leaf = TransactionName(("t1", "read_x"))
+    system_type.register_access(leaf, Access(x, ReadOp()))
+    return program, system_type
+
+
+def orphan_program():
+    return TransactionProgram((), sequential=True)

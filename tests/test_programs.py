@@ -258,6 +258,74 @@ class TestAlternativeCalls:
         assert RequestCreate(T("t", "final")) in outputs
         assert RequestCreate(T("t", "fallback")) not in outputs
 
+    def test_parallel_alternative_waits_for_sibling(self):
+        """In a parallel program the alternative still gates on its
+        trigger: unrelated siblings launch immediately, the alternative
+        does not."""
+        program = TransactionProgram(
+            (
+                read(X, "primary"),
+                read(X, "other"),
+                AccessCall("fallback", X, ReadOp(), after_abort_of="primary"),
+            ),
+            sequential=False,
+        )
+        automaton = ProgramTransaction(T("t"), program)
+        state = automaton.effect(automaton.initial_state(), Create(T("t")))
+        outputs = set(automaton.enabled_outputs(state))
+        assert RequestCreate(T("t", "primary")) in outputs
+        assert RequestCreate(T("t", "other")) in outputs
+        assert RequestCreate(T("t", "fallback")) not in outputs
+
+    def test_parallel_alternative_taken_on_sibling_abort(self):
+        from repro import ReportAbort
+
+        program = TransactionProgram(
+            (
+                read(X, "primary"),
+                read(X, "other"),
+                AccessCall("fallback", X, ReadOp(), after_abort_of="primary"),
+            ),
+            sequential=False,
+        )
+        automaton = ProgramTransaction(T("t"), program)
+        state = automaton.effect(automaton.initial_state(), Create(T("t")))
+        state = automaton.effect(state, RequestCreate(T("t", "primary")))
+        state = automaton.effect(state, RequestCreate(T("t", "other")))
+        state = automaton.effect(state, ReportAbort(T("t", "primary")))
+        outputs = set(automaton.enabled_outputs(state))
+        assert RequestCreate(T("t", "fallback")) in outputs
+        # commit still waits on 'other' and the fallback
+        assert not any(isinstance(a, RequestCommit) for a in outputs)
+        state = automaton.effect(state, RequestCreate(T("t", "fallback")))
+        state = automaton.effect(state, ReportCommit(T("t", "other"), 0))
+        state = automaton.effect(state, ReportCommit(T("t", "fallback"), 0))
+        assert any(
+            isinstance(a, RequestCommit) for a in automaton.enabled_outputs(state)
+        )
+
+    def test_parallel_alternative_skipped_on_sibling_commit(self):
+        program = TransactionProgram(
+            (
+                read(X, "primary"),
+                read(X, "other"),
+                AccessCall("fallback", X, ReadOp(), after_abort_of="primary"),
+            ),
+            sequential=False,
+        )
+        automaton = ProgramTransaction(T("t"), program)
+        state = automaton.effect(automaton.initial_state(), Create(T("t")))
+        state = automaton.effect(state, RequestCreate(T("t", "primary")))
+        state = automaton.effect(state, RequestCreate(T("t", "other")))
+        state = automaton.effect(state, ReportCommit(T("t", "primary"), 0))
+        outputs = set(automaton.enabled_outputs(state))
+        assert RequestCreate(T("t", "fallback")) not in outputs
+        state = automaton.effect(state, ReportCommit(T("t", "other"), 0))
+        outputs = set(automaton.enabled_outputs(state))
+        # the inactive alternative never blocks the commit
+        assert RequestCreate(T("t", "fallback")) not in outputs
+        assert any(isinstance(a, RequestCommit) for a in outputs)
+
     def test_end_to_end_retry_run_certifies(self):
         """Whole-system test: a transfer whose debit is aborted retries
         against a fallback account, and the run still certifies."""

@@ -125,6 +125,47 @@ class TestR001ABFlags:
         # the scanner must resolve fixture/parametrize bindings.
         assert coverage["incremental"] == {True, False}
 
+    def test_robustness_validate_flag_is_an_ab_flag(self):
+        # the static-only vs validated lanes of analyze_robustness are
+        # under the same both-ways discipline as the engine flags
+        from repro.analysis.rules.ab_flags import AB_FLAGS
+
+        assert "validate" in AB_FLAGS
+        context = LintContext(root=SRC_ROOT, tests_root=TESTS_DIR)
+        coverage = context.test_flag_values(("validate",))
+        assert coverage["validate"] == {True, False}
+
+
+class TestR005ProgramRegistry:
+    def test_hand_built_registry_is_flagged(self):
+        findings = [
+            f
+            for f in lint_fixtures("R005")
+            if f.rule == "R005" and "bad_programs" in f.path
+        ]
+        messages = [f.message for f in findings]
+        assert sum("register_access" in m for m in messages) == 1
+        assert sum("never routes" in m for m in messages) == 1
+
+    def test_program_building_modules_are_clean(self):
+        # the modules the rule exists for: generators and the catalogue
+        rule = rule_by_id("R005")
+        for module in ("sim/workload.py", "scenarios.py", "sim/programs.py"):
+            findings = lint_paths(
+                SRC_ROOT / module, [rule], tests_root=TESTS_DIR
+            )
+            assert findings == [], "\n".join(str(f) for f in findings)
+
+    def test_module_with_registry_helper_passes(self, tmp_path):
+        good = tmp_path / "good_programs.py"
+        good.write_text(
+            "from repro.sim.programs import seq, read, system_type_for\n"
+            "def build(x):\n"
+            "    program = seq(read(x))\n"
+            "    return system_type_for({}, {}), program\n"
+        )
+        assert lint_paths(good, [rule_by_id("R005")]) == []
+
 
 class TestR002Hygiene:
     def test_expected_findings(self):
